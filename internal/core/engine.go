@@ -1,0 +1,323 @@
+// Package core is the public face of the streaming SQL engine: a catalog of
+// time-varying relations (streams and tables) plus query entry points that
+// parse, plan, optimize, and execute the paper's SQL dialect.
+//
+// The engine models processing time explicitly: every ingested change
+// carries a ptime, and queries are evaluated either as a table snapshot "as
+// of" a processing time (the classic point-in-time rendering) or as a stream
+// (the changelog rendering with undo/ptime/ver metadata, Extension 4). This
+// determinism is what lets the test suite regenerate the paper's listings
+// byte for byte.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Engine is a catalog of registered relations and the query interface over
+// them. It is safe for concurrent use.
+type Engine struct {
+	mu   sync.RWMutex
+	rels map[string]*relation
+	cfg  plan.Config
+}
+
+type relation struct {
+	meta      plan.Relation
+	log       tvr.Changelog
+	lastPtime types.Time
+	lastWM    types.Time
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithUnboundedGroupBy disables the Extension 2 validation (used by
+// experiments that demonstrate unbounded state growth).
+func WithUnboundedGroupBy() Option {
+	return func(e *Engine) { e.cfg.AllowUnboundedGroupBy = true }
+}
+
+// NewEngine creates an empty engine.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{rels: make(map[string]*relation)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// RegisterStream registers an unbounded relation (a stream). Columns marked
+// EventTime carry the stream's watermark.
+func (e *Engine) RegisterStream(name string, schema *types.Schema) error {
+	return e.register(name, schema, true)
+}
+
+// RegisterTable registers a bounded relation (a classic table). At query
+// time a table is considered complete: a final watermark is asserted when
+// its recorded changelog is exhausted.
+func (e *Engine) RegisterTable(name string, schema *types.Schema) error {
+	return e.register(name, schema, false)
+}
+
+func (e *Engine) register(name string, schema *types.Schema, unbounded bool) error {
+	if name == "" || schema == nil || schema.Len() == 0 {
+		return fmt.Errorf("core: relation needs a name and a non-empty schema")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := e.rels[key]; dup {
+		return fmt.Errorf("core: relation %q already registered", name)
+	}
+	e.rels[key] = &relation{
+		meta:      plan.Relation{Name: name, Schema: schema.Clone(), Unbounded: unbounded},
+		lastPtime: types.MinTime,
+		lastWM:    types.MinTime,
+	}
+	return nil
+}
+
+// Insert appends an INSERT change to the relation's changelog at ptime.
+func (e *Engine) Insert(name string, ptime types.Time, row types.Row) error {
+	return e.append(name, tvr.InsertEvent(ptime, row))
+}
+
+// Delete appends a DELETE (retraction) change at ptime.
+func (e *Engine) Delete(name string, ptime types.Time, row types.Row) error {
+	return e.append(name, tvr.DeleteEvent(ptime, row))
+}
+
+// AdvanceWatermark records a watermark observation for the relation at the
+// given processing time.
+func (e *Engine) AdvanceWatermark(name string, ptime types.Time, wm types.Time) error {
+	return e.append(name, tvr.WatermarkEvent(ptime, wm))
+}
+
+// AppendLog appends a pre-built changelog (validated) to the relation.
+func (e *Engine) AppendLog(name string, log tvr.Changelog) error {
+	for _, ev := range log {
+		if err := e.append(name, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) append(name string, ev tvr.Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rel, ok := e.rels[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("core: relation %q not registered", name)
+	}
+	if ev.Ptime < rel.lastPtime {
+		return fmt.Errorf("core: %s: ptime %s regresses from %s", name, ev.Ptime, rel.lastPtime)
+	}
+	switch ev.Kind {
+	case tvr.Insert, tvr.Delete:
+		if len(ev.Row) != rel.meta.Schema.Len() {
+			return fmt.Errorf("core: %s: row has %d columns, schema has %d", name, len(ev.Row), rel.meta.Schema.Len())
+		}
+		for i, c := range rel.meta.Schema.Cols {
+			v := ev.Row[i]
+			if !v.IsNull() && v.Kind() != c.Kind {
+				if v.Kind().IsNumeric() && c.Kind.IsNumeric() {
+					continue
+				}
+				return fmt.Errorf("core: %s: column %s expects %s, got %s", name, c.Name, c.Kind, v.Kind())
+			}
+		}
+	case tvr.Watermark:
+		if ev.Wm < rel.lastWM {
+			return fmt.Errorf("core: %s: watermark %s regresses from %s", name, ev.Wm, rel.lastWM)
+		}
+		rel.lastWM = ev.Wm
+	}
+	rel.lastPtime = ev.Ptime
+	rel.log = append(rel.log, ev)
+	return nil
+}
+
+// Resolve implements plan.Catalog.
+func (e *Engine) Resolve(name string) (*plan.Relation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rel, ok := e.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: relation %q not found", name)
+	}
+	meta := rel.meta
+	return &meta, nil
+}
+
+// Log returns a copy of the relation's recorded changelog.
+func (e *Engine) Log(name string) (tvr.Changelog, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rel, ok := e.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: relation %q not found", name)
+	}
+	out := make(tvr.Changelog, len(rel.log))
+	copy(out, rel.log)
+	return out, nil
+}
+
+// TableResult is the table rendering of a query: the output relation's rows
+// at the evaluation time, in presentation order.
+type TableResult struct {
+	Schema *types.Schema
+	Rows   []types.Row
+	Stats  exec.Stats
+}
+
+// Format renders the result as the paper's bordered listing tables.
+func (r *TableResult) Format() string {
+	return tvr.FormatRelationTable(r.Schema, r.Rows)
+}
+
+// SortedBy returns a copy of the rows sorted by the given columns; the
+// listings harness uses this where the paper presents windows in order.
+func (r *TableResult) SortedBy(cols ...int) []types.Row {
+	rows := make([]types.Row, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range cols {
+			a, b := rows[i][c], rows[j][c]
+			if a.IsNull() || b.IsNull() {
+				continue
+			}
+			cmp, err := a.Compare(b)
+			if err != nil || cmp == 0 {
+				continue
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return rows
+}
+
+// StreamResult is the stream rendering of a query: the changelog with
+// undo/ptime/ver metadata (Extension 4).
+type StreamResult struct {
+	Schema *types.Schema
+	Rows   []tvr.StreamRow
+	Stats  exec.Stats
+}
+
+// Format renders the stream as the paper's EMIT STREAM listings.
+func (r *StreamResult) Format() string {
+	return tvr.FormatStreamTable(r.Schema, r.Rows)
+}
+
+// QueryTable evaluates the query as a classic point-in-time table at
+// processing time `at` (only input changes with ptime <= at are visible).
+func (e *Engine) QueryTable(sql string, at types.Time) (*TableResult, error) {
+	res, stats, err := e.run(sql, at)
+	if err != nil {
+		return nil, err
+	}
+	return &TableResult{Schema: res.Schema, Rows: res.TableRows(), Stats: stats}, nil
+}
+
+// QueryStream evaluates the query over the full recorded input and returns
+// the stream rendering of its output TVR.
+func (e *Engine) QueryStream(sql string) (*StreamResult, error) {
+	res, stats, err := e.run(sql, types.MaxTime)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResult{Schema: res.Schema, Rows: res.StreamRows(), Stats: stats}, nil
+}
+
+// QueryStreamAt evaluates the stream rendering with input truncated at the
+// given processing time.
+func (e *Engine) QueryStreamAt(sql string, at types.Time) (*StreamResult, error) {
+	res, stats, err := e.run(sql, at)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResult{Schema: res.Schema, Rows: res.StreamRows(), Stats: stats}, nil
+}
+
+// Explain returns the optimized logical plan of the query.
+func (e *Engine) Explain(sql string) (string, error) {
+	pq, err := e.plan(sql)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(pq.Root), nil
+}
+
+func (e *Engine) plan(sql string) (*plan.PlannedQuery, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := plan.New(e, e.cfg).Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(pq), nil
+}
+
+func (e *Engine) run(sql string, at types.Time) (*exec.Result, exec.Stats, error) {
+	pq, err := e.plan(sql)
+	if err != nil {
+		return nil, exec.Stats{}, err
+	}
+	pipe, err := exec.Compile(pq)
+	if err != nil {
+		return nil, exec.Stats{}, err
+	}
+	sources, err := e.sources(pq.Root)
+	if err != nil {
+		return nil, exec.Stats{}, err
+	}
+	res, err := pipe.Run(sources, at)
+	if err != nil {
+		return nil, exec.Stats{}, err
+	}
+	return res, pipe.Stats(), nil
+}
+
+// sources collects the recorded changelog of every relation the plan scans.
+func (e *Engine) sources(root plan.Node) ([]exec.Source, error) {
+	names := map[string]bool{}
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok {
+			names[strings.ToLower(s.Name)] = true
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	var out []exec.Source
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for name := range names {
+		rel, ok := e.rels[name]
+		if !ok {
+			return nil, fmt.Errorf("core: relation %q not found", name)
+		}
+		log := make(tvr.Changelog, len(rel.log))
+		copy(log, rel.log)
+		out = append(out, exec.Source{Name: name, Log: log})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

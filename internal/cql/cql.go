@@ -1,0 +1,339 @@
+// Package cql implements the CQL / STREAM baseline the paper compares
+// against (Section 2.1 and Listing 1): streams of implicitly timestamped
+// tuples, stream-to-relation window operators ([RANGE ... SLIDE ...],
+// [ROWS n], [NOW], [UNBOUNDED]), relation-to-stream operators (Istream,
+// Dstream, Rstream), and a tick-driven executor that — like the STREAM
+// system — buffers out-of-order input and feeds it to the query processor
+// in timestamp order, driven by heartbeats.
+//
+// Time in CQL is a logical clock attached to tuples as metadata, not data:
+// the executor can only reason about completeness via heartbeats, which is
+// exactly the limitation (buffering latency, no late data) the paper's
+// watermark proposal removes.
+package cql
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Tuple is a stream element: a row plus its implicit timestamp.
+type Tuple struct {
+	TS  types.Time
+	Row types.Row
+}
+
+// WindowKind enumerates CQL stream-to-relation windows.
+type WindowKind uint8
+
+// Window kinds.
+const (
+	// Range is [RANGE r] / [RANGE r SLIDE s]: at tick T the relation
+	// holds tuples with ts in (T-r, T].
+	Range WindowKind = iota
+	// Rows is [ROWS n]: the last n tuples by timestamp order.
+	Rows
+	// Now is [NOW]: tuples with ts == T.
+	Now
+	// Unbounded is [UNBOUNDED] (RANGE UNBOUNDED): all tuples with ts <= T.
+	Unbounded
+)
+
+// WindowSpec is a stream-to-relation operator instance.
+type WindowSpec struct {
+	Kind  WindowKind
+	Range types.Duration // for Range
+	Slide types.Duration // evaluation period; 0 means every tick
+	N     int            // for Rows
+}
+
+// String renders the spec in CQL's bracket syntax.
+func (w WindowSpec) String() string {
+	switch w.Kind {
+	case Range:
+		if w.Slide > 0 {
+			return fmt.Sprintf("[RANGE %s SLIDE %s]", w.Range, w.Slide)
+		}
+		return fmt.Sprintf("[RANGE %s]", w.Range)
+	case Rows:
+		return fmt.Sprintf("[ROWS %d]", w.N)
+	case Now:
+		return "[NOW]"
+	default:
+		return "[UNBOUNDED]"
+	}
+}
+
+// Apply computes the instantaneous relation of the window at tick time,
+// given the stream's tuples released so far (must be sorted by TS).
+func (w WindowSpec) Apply(tuples []Tuple, at types.Time) *tvr.Relation {
+	rel := tvr.NewRelation()
+	switch w.Kind {
+	case Range:
+		lo := at.Add(-w.Range) // exclusive
+		for _, t := range tuples {
+			if t.TS > lo && t.TS <= at {
+				rel.Insert(t.Row)
+			}
+		}
+	case Rows:
+		var live []Tuple
+		for _, t := range tuples {
+			if t.TS <= at {
+				live = append(live, t)
+			}
+		}
+		start := len(live) - w.N
+		if start < 0 {
+			start = 0
+		}
+		for _, t := range live[start:] {
+			rel.Insert(t.Row)
+		}
+	case Now:
+		for _, t := range tuples {
+			if t.TS == at {
+				rel.Insert(t.Row)
+			}
+		}
+	default: // Unbounded
+		for _, t := range tuples {
+			if t.TS <= at {
+				rel.Insert(t.Row)
+			}
+		}
+	}
+	return rel
+}
+
+// OutputMode selects the relation-to-stream operator for a query's result.
+type OutputMode uint8
+
+// Relation-to-stream operators.
+const (
+	// IstreamMode emits rows entering the result relation at each tick.
+	IstreamMode OutputMode = iota
+	// DstreamMode emits rows leaving the result relation at each tick.
+	DstreamMode
+	// RstreamMode emits the entire result relation at each tick.
+	RstreamMode
+)
+
+// Istream returns the tuples of Istream(R) at time at: rows in cur but not
+// in prev (bag difference).
+func Istream(prev, cur *tvr.Relation, at types.Time) []Tuple {
+	return diffTuples(prev, cur, at)
+}
+
+// Dstream returns the tuples of Dstream(R) at time at: rows in prev but not
+// in cur.
+func Dstream(prev, cur *tvr.Relation, at types.Time) []Tuple {
+	return diffTuples(cur, prev, at)
+}
+
+// Rstream returns all rows of cur, timestamped at.
+func Rstream(cur *tvr.Relation, at types.Time) []Tuple {
+	rows := cur.Rows()
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = Tuple{TS: at, Row: r}
+	}
+	return out
+}
+
+// diffTuples returns rows over-represented in b relative to a.
+func diffTuples(a, b *tvr.Relation, at types.Time) []Tuple {
+	var out []Tuple
+	seen := map[string]bool{}
+	for _, row := range b.Rows() {
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		extra := b.Count(row) - a.Count(row)
+		for i := 0; i < extra; i++ {
+			out = append(out, Tuple{TS: at, Row: row})
+		}
+	}
+	return out
+}
+
+// Evaluator is the relation-to-relation stage of a continuous query. CQL's
+// relation-to-relation operators are ordinary SQL; queries provide the
+// composed logic as a function from the window relation to the result
+// relation.
+type Evaluator func(window *tvr.Relation, at types.Time) *tvr.Relation
+
+// ContinuousQuery is one registered CQL query: window spec, R2R logic, and
+// output mode.
+type ContinuousQuery struct {
+	Name   string
+	Window WindowSpec
+	Eval   Evaluator
+	Mode   OutputMode
+}
+
+// OutTuple is one output stream element together with the tick that
+// produced it. It is structurally a Tuple; the alias documents intent.
+type OutTuple = Tuple
+
+// Executor runs continuous queries over a single input stream with the
+// STREAM system's in-order model: out-of-order tuples are buffered on
+// intake and released to the query processor in timestamp order when a
+// heartbeat asserts the stream is complete up to a point.
+type Executor struct {
+	buffer   tupleHeap
+	released []Tuple
+	clock    types.Time // last heartbeat
+	queries  []*queryState
+
+	// MaxBuffered tracks the high-water mark of the intake buffer, the
+	// cost of the buffering approach the paper contrasts with watermarks.
+	MaxBuffered int
+}
+
+type queryState struct {
+	q        ContinuousQuery
+	prev     *tvr.Relation
+	nextTick types.Time
+	hasTick  bool
+	out      []OutTuple
+}
+
+// NewExecutor creates an executor with no registered queries.
+func NewExecutor() *Executor {
+	return &Executor{clock: types.MinTime}
+}
+
+// Register adds a continuous query and returns its index.
+func (e *Executor) Register(q ContinuousQuery) int {
+	if q.Eval == nil {
+		q.Eval = func(w *tvr.Relation, _ types.Time) *tvr.Relation { return w }
+	}
+	e.queries = append(e.queries, &queryState{q: q, prev: tvr.NewRelation()})
+	return len(e.queries) - 1
+}
+
+// Push buffers one input tuple. Tuples may arrive in any timestamp order,
+// but a tuple older than the current heartbeat is an error: the heartbeat
+// asserted that part of the stream was already complete.
+func (e *Executor) Push(t Tuple) error {
+	if t.TS <= e.clock {
+		return fmt.Errorf("cql: tuple at %s arrived after heartbeat %s (STREAM's in-order model admits no late data)", t.TS, e.clock)
+	}
+	heap.Push(&e.buffer, t)
+	if e.buffer.Len() > e.MaxBuffered {
+		e.MaxBuffered = e.buffer.Len()
+	}
+	return nil
+}
+
+// Heartbeat asserts the stream is complete through ts: buffered tuples up to
+// ts are released in timestamp order and every due tick is evaluated.
+func (e *Executor) Heartbeat(ts types.Time) error {
+	if ts < e.clock {
+		return fmt.Errorf("cql: heartbeat regression %s < %s", ts, e.clock)
+	}
+	for e.buffer.Len() > 0 && e.buffer[0].TS <= ts {
+		e.released = append(e.released, heap.Pop(&e.buffer).(Tuple))
+	}
+	prev := e.clock
+	e.clock = ts
+	for _, qs := range e.queries {
+		e.tickQuery(qs, prev, ts)
+	}
+	return nil
+}
+
+// tickQuery evaluates every due tick of the query in (prev, now].
+func (e *Executor) tickQuery(qs *queryState, prev, now types.Time) {
+	slide := qs.q.Window.Slide
+	if slide <= 0 {
+		// Tick at every released tuple timestamp plus the heartbeat.
+		ticks := e.tickTimes(prev, now)
+		for _, t := range ticks {
+			e.evalAt(qs, t)
+		}
+		return
+	}
+	// Slide-aligned ticks: multiples of slide in (prev, now].
+	if !qs.hasTick {
+		first := firstMultipleAfter(prev, slide)
+		qs.nextTick = first
+		qs.hasTick = true
+	}
+	for qs.nextTick <= now {
+		e.evalAt(qs, qs.nextTick)
+		qs.nextTick = qs.nextTick.Add(slide)
+	}
+}
+
+// tickTimes lists distinct released-tuple timestamps in (prev, now], plus
+// now itself; per CQL the relation is re-evaluated whenever the clock moves.
+func (e *Executor) tickTimes(prev, now types.Time) []types.Time {
+	set := map[types.Time]bool{}
+	for _, t := range e.released {
+		if t.TS > prev && t.TS <= now {
+			set[t.TS] = true
+		}
+	}
+	set[now] = true
+	out := make([]types.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func firstMultipleAfter(t types.Time, step types.Duration) types.Time {
+	if t == types.MinTime {
+		return types.Time(int64(step))
+	}
+	n := int64(t) / int64(step)
+	next := types.Time((n + 1) * int64(step))
+	return next
+}
+
+func (e *Executor) evalAt(qs *queryState, at types.Time) {
+	win := qs.q.Window.Apply(e.released, at)
+	cur := qs.q.Eval(win, at)
+	switch qs.q.Mode {
+	case IstreamMode:
+		qs.out = append(qs.out, Istream(qs.prev, cur, at)...)
+	case DstreamMode:
+		qs.out = append(qs.out, Dstream(qs.prev, cur, at)...)
+	case RstreamMode:
+		qs.out = append(qs.out, Rstream(cur, at)...)
+	}
+	qs.prev = cur
+}
+
+// Results returns the output stream of query i.
+func (e *Executor) Results(i int) []OutTuple {
+	return e.queries[i].out
+}
+
+// Buffered returns the number of tuples awaiting a heartbeat.
+func (e *Executor) Buffered() int { return e.buffer.Len() }
+
+// tupleHeap is a min-heap by timestamp (FIFO within equal timestamps is not
+// guaranteed, matching STREAM's unspecified tie order).
+type tupleHeap []Tuple
+
+func (h tupleHeap) Len() int            { return len(h) }
+func (h tupleHeap) Less(i, j int) bool  { return h[i].TS < h[j].TS }
+func (h tupleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tupleHeap) Push(x any)         { *h = append(*h, x.(Tuple)) }
+func (h *tupleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

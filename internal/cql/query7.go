@@ -1,0 +1,54 @@
+package cql
+
+import (
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Query7 builds the CQL formulation of NEXMark Query 7 from Listing 1 of
+// the paper:
+//
+//	SELECT Rstream(B.price, B.itemid)
+//	FROM Bid [RANGE 10 MINUTE SLIDE 10 MINUTE] B
+//	WHERE B.price = (SELECT MAX(B1.price) FROM Bid
+//	                 [RANGE 10 MINUTE SLIDE 10 MINUTE] B1)
+//
+// Every ten minutes the query computes the highest price of the previous
+// ten minutes (the subquery) and selects the bids at that price. The input
+// tuple layout is (bidtime, price, item) as produced by the NEXMark Bid
+// stream; the output layout is (price, item) per the CQL listing.
+func Query7(priceIdx, itemIdx int) ContinuousQuery {
+	return ContinuousQuery{
+		Name:   "NEXMark Q7 (CQL)",
+		Window: WindowSpec{Kind: Range, Range: 10 * types.Minute, Slide: 10 * types.Minute},
+		Eval: func(win *tvr.Relation, _ types.Time) *tvr.Relation {
+			out := tvr.NewRelation()
+			// Subquery: MAX(price) over the same window.
+			var max types.Value = types.Null()
+			for _, row := range win.Rows() {
+				p := row[priceIdx]
+				if p.IsNull() {
+					continue
+				}
+				if max.IsNull() {
+					max = p
+					continue
+				}
+				if c, err := p.Compare(max); err == nil && c > 0 {
+					max = p
+				}
+			}
+			if max.IsNull() {
+				return out
+			}
+			// Outer query: bids at the maximum price.
+			for _, row := range win.Rows() {
+				if row[priceIdx].Equal(max) {
+					out.Insert(types.Row{row[priceIdx], row[itemIdx]})
+				}
+			}
+			return out
+		},
+		Mode: RstreamMode,
+	}
+}

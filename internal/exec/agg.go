@@ -1,0 +1,464 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// aggOp implements incremental grouped aggregation with retraction support.
+// For every input change it retracts the group's previous output row and
+// emits the updated one, so downstream state always reflects the pointwise
+// aggregate of the input relation.
+//
+// Event-time grouping keys interact with watermarks exactly as Extension 2
+// prescribes: when the watermark passes a group's event-time keys the group
+// is complete — late inputs are dropped and the group's accumulator state is
+// freed (the output row, already emitted, is final).
+type aggOp struct {
+	out    sink
+	keys   []plan.Scalar
+	aggs   []plan.AggCall
+	sch    *types.Schema
+	global bool
+
+	// eventKeys are output positions of event-time keys with completion
+	// offsets: group complete when wm >= key + offset for all.
+	eventKeys []eventKey
+
+	groups   map[string]*aggGroup
+	order    []string // group keys in first-seen order (deterministic scans)
+	wm       types.Time
+	lateDrop int
+	freed    int
+}
+
+type eventKey struct {
+	pos    int
+	offset types.Duration
+}
+
+type aggGroup struct {
+	keyRow  types.Row
+	accs    []accumulator
+	n       int       // live input rows
+	outRow  types.Row // last emitted output row (nil if none)
+	dead    bool      // state freed by watermark completion
+}
+
+func newAggOp(x *plan.Aggregate, out sink) *aggOp {
+	a := &aggOp{
+		out:    out,
+		keys:   x.Keys,
+		aggs:   x.Aggs,
+		sch:    x.Sch,
+		global: x.Global(),
+		groups: make(map[string]*aggGroup),
+		wm:     types.MinTime,
+	}
+	for _, pos := range x.EventKeyIdxs() {
+		a.eventKeys = append(a.eventKeys, eventKey{pos: pos, offset: x.Sch.Cols[pos].WmOffset})
+	}
+	return a
+}
+
+// Open emits the initial row of a global aggregate: SQL semantics give a
+// keyless aggregation exactly one row even over empty input (COUNT=0, other
+// aggregates NULL).
+func (a *aggOp) Open() error {
+	if !a.global {
+		return nil
+	}
+	g := a.newGroup(types.Row{})
+	a.groups[""] = g
+	a.order = append(a.order, "")
+	return a.reemit(g, types.MinTime)
+}
+
+func (a *aggOp) newGroup(keyRow types.Row) *aggGroup {
+	g := &aggGroup{keyRow: keyRow.Clone()}
+	g.accs = make([]accumulator, len(a.aggs))
+	for i, call := range a.aggs {
+		g.accs[i] = newAccumulator(call)
+	}
+	return g
+}
+
+// complete reports whether a group's event-time keys are all passed by the
+// watermark. Groups with NULL event-time keys never complete.
+func (a *aggOp) complete(keyRow types.Row, wm types.Time) bool {
+	if len(a.eventKeys) == 0 {
+		return false
+	}
+	for _, ek := range a.eventKeys {
+		v := keyRow[ek.pos]
+		if v.IsNull() || v.Kind() != types.KindTimestamp {
+			return false
+		}
+		if wm < v.Timestamp().Add(ek.offset) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *aggOp) Push(ev tvr.Event) error {
+	switch ev.Kind {
+	case tvr.Watermark:
+		return a.onWatermark(ev)
+	case tvr.Heartbeat:
+		return a.out.Push(ev)
+	}
+
+	keyRow := make(types.Row, len(a.keys))
+	for i, k := range a.keys {
+		v, err := k.Eval(ev.Row)
+		if err != nil {
+			return err
+		}
+		keyRow[i] = v
+	}
+	gk := keyRow.Key()
+	g, ok := a.groups[gk]
+	if ok && g.dead {
+		a.lateDrop++
+		return nil
+	}
+	if !ok {
+		if a.complete(keyRow, a.wm) {
+			// The group was completed (and freed) before this row
+			// arrived, or arrives late from the start.
+			a.lateDrop++
+			return nil
+		}
+		g = a.newGroup(keyRow)
+		a.groups[gk] = g
+		a.order = append(a.order, gk)
+	}
+
+	delta := 1
+	if ev.Kind == tvr.Delete {
+		delta = -1
+	}
+	g.n += delta
+	if g.n < 0 {
+		return fmt.Errorf("exec: aggregate retraction underflow for group %s", keyRow)
+	}
+	for i, acc := range g.accs {
+		var arg types.Value
+		if a.aggs[i].Arg != nil {
+			v, err := a.aggs[i].Arg.Eval(ev.Row)
+			if err != nil {
+				return err
+			}
+			arg = v
+		}
+		if err := acc.update(arg, delta); err != nil {
+			return err
+		}
+	}
+	return a.reemit(g, ev.Ptime)
+}
+
+// reemit retracts the group's previous output row and emits the current one.
+// If the output row is unchanged (e.g. a bid below the running MAX), nothing
+// is emitted: the output relation did not change, so its changelog must not
+// either.
+func (a *aggOp) reemit(g *aggGroup, p types.Time) error {
+	var row types.Row
+	if g.n > 0 || a.global {
+		row = make(types.Row, 0, len(g.keyRow)+len(g.accs))
+		row = append(row, g.keyRow...)
+		for _, acc := range g.accs {
+			row = append(row, acc.value())
+		}
+	}
+	if g.outRow != nil && row != nil && g.outRow.Equal(row) {
+		return nil
+	}
+	if g.outRow != nil {
+		if err := a.out.Push(tvr.DeleteEvent(p, g.outRow)); err != nil {
+			return err
+		}
+		g.outRow = nil
+	}
+	if row == nil {
+		return nil
+	}
+	g.outRow = row
+	return a.out.Push(tvr.InsertEvent(p, row))
+}
+
+// onWatermark advances the watermark, completes groups, frees their state,
+// and forwards the watermark downstream.
+func (a *aggOp) onWatermark(ev tvr.Event) error {
+	if ev.Wm <= a.wm {
+		return nil
+	}
+	a.wm = ev.Wm
+	if len(a.eventKeys) > 0 {
+		for _, gk := range a.order {
+			g := a.groups[gk]
+			if g == nil || g.dead {
+				continue
+			}
+			if a.complete(g.keyRow, a.wm) {
+				// The emitted output row is final; free the
+				// accumulators but remember the key to drop
+				// late arrivals.
+				g.accs = nil
+				g.dead = true
+				a.freed++
+			}
+		}
+	}
+	return a.out.Push(ev)
+}
+
+func (a *aggOp) Finish() error { return a.out.Finish() }
+
+func (a *aggOp) stats(s *Stats) {
+	live := 0
+	for _, g := range a.groups {
+		if !g.dead {
+			live++
+			s.StateRows += g.n
+		}
+	}
+	s.StateGroups += live
+	s.LateDropped += a.lateDrop
+	s.FreedGroups += a.freed
+}
+
+// ---- accumulators ----
+
+// accumulator maintains one aggregate function's state under inserts (+1)
+// and retractions (-1).
+type accumulator interface {
+	update(v types.Value, delta int) error
+	value() types.Value
+}
+
+func newAccumulator(call plan.AggCall) accumulator {
+	var inner accumulator
+	switch call.Kind {
+	case plan.AggCountStar:
+		return &countStarAcc{}
+	case plan.AggCount:
+		inner = &countAcc{}
+	case plan.AggSum:
+		inner = newSumAcc(call.K)
+	case plan.AggAvg:
+		inner = &avgAcc{}
+	case plan.AggMin:
+		inner = newMinMaxAcc(true)
+	case plan.AggMax:
+		inner = newMinMaxAcc(false)
+	}
+	if call.Distinct {
+		return &distinctAcc{inner: inner, counts: make(map[string]distinctEntry)}
+	}
+	return inner
+}
+
+type countStarAcc struct{ n int64 }
+
+func (c *countStarAcc) update(_ types.Value, delta int) error {
+	c.n += int64(delta)
+	return nil
+}
+
+func (c *countStarAcc) value() types.Value { return types.NewInt(c.n) }
+
+type countAcc struct{ n int64 }
+
+func (c *countAcc) update(v types.Value, delta int) error {
+	if !v.IsNull() {
+		c.n += int64(delta)
+	}
+	return nil
+}
+
+func (c *countAcc) value() types.Value { return types.NewInt(c.n) }
+
+// sumAcc keeps exact integer sums for BIGINT and float sums otherwise; SUM
+// over zero non-NULL inputs is NULL per SQL.
+type sumAcc struct {
+	kind types.Kind
+	i    int64
+	f    float64
+	n    int64
+}
+
+func newSumAcc(k types.Kind) *sumAcc { return &sumAcc{kind: k} }
+
+func (s *sumAcc) update(v types.Value, delta int) error {
+	if v.IsNull() {
+		return nil
+	}
+	s.n += int64(delta)
+	switch s.kind {
+	case types.KindInt64:
+		s.i += int64(delta) * v.Int()
+	case types.KindInterval:
+		s.i += int64(delta) * int64(v.Interval())
+	default:
+		s.f += float64(delta) * v.AsFloat()
+	}
+	return nil
+}
+
+func (s *sumAcc) value() types.Value {
+	if s.n == 0 {
+		return types.Null()
+	}
+	switch s.kind {
+	case types.KindInt64:
+		return types.NewInt(s.i)
+	case types.KindInterval:
+		return types.NewInterval(types.Duration(s.i))
+	default:
+		return types.NewFloat(s.f)
+	}
+}
+
+type avgAcc struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) update(v types.Value, delta int) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.sum += float64(delta) * v.AsFloat()
+	a.n += int64(delta)
+	return nil
+}
+
+func (a *avgAcc) value() types.Value {
+	if a.n == 0 {
+		return types.Null()
+	}
+	return types.NewFloat(a.sum / float64(a.n))
+}
+
+// minMaxAcc supports retractions by keeping the multiset of values; the
+// extremum is cached and recomputed only when it is retracted away.
+type minMaxAcc struct {
+	min     bool
+	counts  map[string]minMaxEntry
+	current types.Value
+	valid   bool // current holds the true extremum
+	n       int64
+}
+
+type minMaxEntry struct {
+	val   types.Value
+	count int
+}
+
+func newMinMaxAcc(min bool) *minMaxAcc {
+	return &minMaxAcc{min: min, counts: make(map[string]minMaxEntry), current: types.Null()}
+}
+
+func (m *minMaxAcc) update(v types.Value, delta int) error {
+	if v.IsNull() {
+		return nil
+	}
+	k := types.Row{v}.Key()
+	e := m.counts[k]
+	e.val = v
+	e.count += delta
+	if e.count < 0 {
+		return fmt.Errorf("exec: MIN/MAX retraction of absent value %s", v)
+	}
+	if e.count == 0 {
+		delete(m.counts, k)
+	} else {
+		m.counts[k] = e
+	}
+	m.n += int64(delta)
+	if delta > 0 {
+		if !m.valid || m.better(v, m.current) {
+			m.current = v
+			m.valid = true
+		}
+	} else if m.valid && v.Equal(m.current) {
+		// The extremum may have been retracted; recompute lazily.
+		m.valid = false
+	}
+	return nil
+}
+
+func (m *minMaxAcc) better(a, b types.Value) bool {
+	if b.IsNull() {
+		return true
+	}
+	c, err := a.Compare(b)
+	if err != nil {
+		return false
+	}
+	if m.min {
+		return c < 0
+	}
+	return c > 0
+}
+
+func (m *minMaxAcc) value() types.Value {
+	if m.n == 0 {
+		return types.Null()
+	}
+	if !m.valid {
+		m.current = types.Null()
+		for _, e := range m.counts {
+			if e.count > 0 && (m.current.IsNull() || m.better(e.val, m.current)) {
+				m.current = e.val
+			}
+		}
+		m.valid = true
+	}
+	return m.current
+}
+
+// distinctAcc wraps another accumulator, forwarding only multiplicity
+// transitions 0->1 and 1->0 so the inner state sees each distinct value once.
+type distinctAcc struct {
+	inner  accumulator
+	counts map[string]distinctEntry
+}
+
+type distinctEntry struct {
+	val   types.Value
+	count int
+}
+
+func (d *distinctAcc) update(v types.Value, delta int) error {
+	if v.IsNull() {
+		return nil
+	}
+	k := types.Row{v}.Key()
+	e := d.counts[k]
+	e.val = v
+	before := e.count
+	e.count += delta
+	if e.count < 0 {
+		return fmt.Errorf("exec: DISTINCT aggregate retraction of absent value %s", v)
+	}
+	if e.count == 0 {
+		delete(d.counts, k)
+	} else {
+		d.counts[k] = e
+	}
+	if before == 0 && e.count > 0 {
+		return d.inner.update(v, 1)
+	}
+	if before > 0 && e.count == 0 {
+		return d.inner.update(v, -1)
+	}
+	return nil
+}
+
+func (d *distinctAcc) value() types.Value { return d.inner.value() }

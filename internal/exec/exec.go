@@ -1,0 +1,386 @@
+// Package exec implements the push-based incremental execution engine.
+//
+// A compiled pipeline is a DAG of operators mirroring the logical plan. The
+// driver merges the source changelogs into a single processing-time-ordered
+// event timeline and pushes each event into the scans; every operator
+// transforms input changelog events into the exact delta of its output
+// relation, so at any processing time the materialized output equals the
+// logical plan applied to the inputs' instantaneous relations (the pointwise
+// semantics of Section 3.1 of the paper). Watermark events flow through the
+// same channels and drive group completion, state cleanup, and the EMIT
+// materialization operators.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// sink receives changelog events and an end-of-input signal.
+type sink interface {
+	// Push delivers one event. Events arrive in non-decreasing ptime
+	// order.
+	Push(ev tvr.Event) error
+	// Finish signals that no more events will arrive on this input.
+	Finish() error
+}
+
+// opener is implemented by operators that emit output before any input
+// (constant relations, global aggregates).
+type opener interface {
+	Open() error
+}
+
+// statser is implemented by operators that report execution statistics.
+type statser interface {
+	stats(*Stats)
+}
+
+// Stats aggregates observability counters across a pipeline, the raw
+// material for the paper's state-size and update-volume experiments.
+type Stats struct {
+	// StateRows is the number of rows currently held in operator state
+	// (join sides, aggregation groups, emit buffers).
+	StateRows int
+	// StateGroups is the number of live aggregation/emit groups.
+	StateGroups int
+	// LateDropped counts input rows dropped because their group was
+	// already complete when they arrived (Extension 2 late-data policy).
+	LateDropped int
+	// FreedGroups counts groups whose state was released by watermark
+	// completion (the Section 5 state-cleanup lesson).
+	FreedGroups int
+	// OutputEvents counts data events emitted by the pipeline root.
+	OutputEvents int
+}
+
+// Pipeline is a compiled, runnable query.
+type Pipeline struct {
+	collector *Collector
+	scans     map[string][]*scanOp // lower-cased source name -> scan operators
+	scanOrder []string             // deterministic source ordering
+	allOps    []sink               // in build (parent-before-child) order
+	opened    bool
+}
+
+// Source provides the recorded changelog of one named relation.
+type Source struct {
+	Name string
+	Log  tvr.Changelog
+}
+
+// Compile builds a pipeline for the planned query.
+func Compile(pq *plan.PlannedQuery) (*Pipeline, error) {
+	p := &Pipeline{scans: make(map[string][]*scanOp)}
+	p.collector = newCollector(pq)
+	p.allOps = append(p.allOps, p.collector)
+
+	var top sink = p.collector
+	// Materialization-control operators wrap the plan root.
+	switch {
+	case pq.Emit.AfterWatermark && pq.Emit.Delay == nil:
+		e := newEmitAfterWatermark(pq.Root.Schema(), top)
+		p.allOps = append(p.allOps, e)
+		top = e
+	case pq.Emit.Delay != nil:
+		e := newEmitAfterDelay(pq.Root.Schema(), *pq.Emit.Delay, pq.Emit.AfterWatermark, top)
+		p.allOps = append(p.allOps, e)
+		top = e
+	}
+	if err := p.build(pq.Root, top); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Pipeline) addScan(name string, s *scanOp) {
+	key := lowered(name)
+	if _, ok := p.scans[key]; !ok {
+		p.scanOrder = append(p.scanOrder, key)
+	}
+	p.scans[key] = append(p.scans[key], s)
+}
+
+func lowered(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// build wires the operator for n so that its output flows into out.
+func (p *Pipeline) build(n plan.Node, out sink) error {
+	switch x := n.(type) {
+	case *plan.Scan:
+		s := &scanOp{out: out, asOf: x.AsOf, bounded: !x.Stream}
+		p.allOps = append(p.allOps, s)
+		p.addScan(x.Name, s)
+		return nil
+	case *plan.Values:
+		v := &valuesOp{out: out, rows: x.Rows}
+		p.allOps = append(p.allOps, v)
+		return nil
+	case *plan.Filter:
+		f := &filterOp{out: out, cond: x.Cond}
+		p.allOps = append(p.allOps, f)
+		return p.build(x.Input, f)
+	case *plan.Project:
+		pr := &projectOp{out: out, exprs: x.Exprs}
+		p.allOps = append(p.allOps, pr)
+		return p.build(x.Input, pr)
+	case *plan.WindowTVF:
+		w := newWindowOp(x, out)
+		p.allOps = append(p.allOps, w)
+		return p.build(x.Input, w)
+	case *plan.Aggregate:
+		a := newAggOp(x, out)
+		p.allOps = append(p.allOps, a)
+		return p.build(x.Input, a)
+	case *plan.Join:
+		j := newJoinOp(x, out)
+		p.allOps = append(p.allOps, j)
+		if err := p.build(x.Left, j.leftPort()); err != nil {
+			return err
+		}
+		return p.build(x.Right, j.rightPort())
+	case *plan.Distinct:
+		d := &distinctOp{out: out, counts: make(map[string]*rowCount)}
+		p.allOps = append(p.allOps, d)
+		return p.build(x.Input, d)
+	case *plan.Union:
+		u := newUnionOp(len(x.Inputs), out)
+		p.allOps = append(p.allOps, u)
+		for i, in := range x.Inputs {
+			if err := p.build(in, u.port(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *plan.SetOp:
+		s := newSetOp(x, out)
+		p.allOps = append(p.allOps, s)
+		if err := p.build(x.Left, s.leftPort()); err != nil {
+			return err
+		}
+		return p.build(x.Right, s.rightPort())
+	default:
+		return fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+// Run feeds the sources through the pipeline. Events with ptime greater than
+// upTo are excluded (pass types.MaxTime to consume everything); a heartbeat
+// at upTo fires any pending processing-time timers, and Finish flushes the
+// rest. Run may be called once per compiled pipeline.
+func (p *Pipeline) Run(sources []Source, upTo types.Time) (*Result, error) {
+	if p.opened {
+		return nil, fmt.Errorf("exec: pipeline already ran")
+	}
+	p.opened = true
+	// Open operators parent-first so that open-time emissions (constant
+	// relations, empty global aggregates) flow into already-open sinks.
+	for _, op := range p.allOps {
+		if o, ok := op.(opener); ok {
+			if err := o.Open(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	bySource := make(map[string]tvr.Changelog, len(sources))
+	for _, s := range sources {
+		bySource[lowered(s.Name)] = s.Log
+	}
+	type cursor struct {
+		name string
+		log  tvr.Changelog
+		pos  int
+	}
+	var cursors []*cursor
+	for _, name := range p.scanOrder {
+		log, ok := bySource[name]
+		if !ok {
+			return nil, fmt.Errorf("exec: no source data for relation %q", name)
+		}
+		cursors = append(cursors, &cursor{name: name, log: log})
+	}
+
+	// K-way merge by ptime; ties broken by source registration order
+	// (cursor index), which keeps runs deterministic.
+	for {
+		best := -1
+		for i, c := range cursors {
+			for c.pos < len(c.log) && c.log[c.pos].Ptime > upTo {
+				c.pos = len(c.log) // discard tail beyond the horizon
+			}
+			if c.pos >= len(c.log) {
+				continue
+			}
+			if best < 0 || c.log[c.pos].Ptime < cursors[best].log[cursors[best].pos].Ptime {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cursors[best]
+		ev := c.log[c.pos]
+		c.pos++
+		for _, s := range p.scans[c.name] {
+			if err := s.Push(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Advance the processing-time clock to the query horizon so that
+	// delay timers due by now fire, then finish every scan.
+	if upTo != types.MaxTime {
+		hb := tvr.HeartbeatEvent(upTo)
+		for _, name := range p.scanOrder {
+			for _, s := range p.scans[name] {
+				if err := s.Push(hb); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, name := range p.scanOrder {
+		for _, s := range p.scans[name] {
+			if err := s.Finish(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.collector.result()
+}
+
+// Stats walks the pipeline collecting operator statistics.
+func (p *Pipeline) Stats() Stats {
+	var st Stats
+	for _, op := range p.allOps {
+		if s, ok := op.(statser); ok {
+			s.stats(&st)
+		}
+	}
+	return st
+}
+
+// Result is a query's materialized output.
+type Result struct {
+	// Schema describes the output columns.
+	Schema *types.Schema
+	// Log is the output changelog (data events only, ptime-ordered).
+	Log tvr.Changelog
+	// Snapshot is the final output relation (the table rendering).
+	Snapshot *tvr.Relation
+	// EmitKeyIdxs are the event-time grouping columns used for changelog
+	// version numbering.
+	EmitKeyIdxs []int
+	// OrderBy / Limit presentation settings from the plan.
+	OrderBy []plan.SortKey
+	Limit   *int64
+}
+
+// TableRows renders the snapshot with presentation order applied: ORDER BY
+// keys first, then insertion order for stability.
+func (r *Result) TableRows() []types.Row {
+	rows := r.Snapshot.Rows()
+	if len(r.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range r.OrderBy {
+				a, b := rows[i][k.Col], rows[j][k.Col]
+				if a.IsNull() && b.IsNull() {
+					continue
+				}
+				if a.IsNull() {
+					return !k.Desc
+				}
+				if b.IsNull() {
+					return k.Desc
+				}
+				c, err := a.Compare(b)
+				if err != nil || c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if r.Limit != nil && int64(len(rows)) > *r.Limit {
+		rows = rows[:*r.Limit]
+	}
+	return rows
+}
+
+// StreamRows renders the output changelog with undo/ptime/ver metadata
+// (Extension 4).
+func (r *Result) StreamRows() []tvr.StreamRow {
+	return tvr.RenderStream(r.Log, r.EmitKeyIdxs)
+}
+
+// Collector is the terminal sink: it materializes both renderings of the
+// output TVR.
+type Collector struct {
+	schema  *types.Schema
+	rel     *tvr.Relation
+	log     tvr.Changelog
+	keys    []int
+	orderBy []plan.SortKey
+	limit   *int64
+	outN    int
+	err     error
+}
+
+func newCollector(pq *plan.PlannedQuery) *Collector {
+	return &Collector{
+		schema:  pq.Root.Schema(),
+		rel:     tvr.NewRelation(),
+		keys:    pq.EmitKeyIdxs,
+		orderBy: pq.OrderBy,
+		limit:   pq.Limit,
+	}
+}
+
+// Push implements sink.
+func (c *Collector) Push(ev tvr.Event) error {
+	switch ev.Kind {
+	case tvr.Insert, tvr.Delete:
+		if err := c.rel.Apply(ev); err != nil {
+			return err
+		}
+		c.log = append(c.log, ev)
+		c.outN++
+	}
+	return nil
+}
+
+// Finish implements sink.
+func (c *Collector) Finish() error { return nil }
+
+func (c *Collector) stats(s *Stats) { s.OutputEvents += c.outN }
+
+func (c *Collector) result() (*Result, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	return &Result{
+		Schema:      c.schema,
+		Log:         c.log,
+		Snapshot:    c.rel,
+		EmitKeyIdxs: c.keys,
+		OrderBy:     c.orderBy,
+		Limit:       c.limit,
+	}, nil
+}

@@ -1,0 +1,223 @@
+package nexmark
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 42, NumEvents: 500, MaxOutOfOrderness: 2 * types.Second}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Bids) != len(b.Bids) || len(a.Persons) != len(b.Persons) || len(a.Auctions) != len(b.Auctions) {
+		t.Fatal("same seed must generate identical event counts")
+	}
+	for i := range a.Bids {
+		if a.Bids[i].Kind != b.Bids[i].Kind || a.Bids[i].Ptime != b.Bids[i].Ptime {
+			t.Fatalf("bid %d differs", i)
+		}
+		if a.Bids[i].IsData() && !a.Bids[i].Row.Equal(b.Bids[i].Row) {
+			t.Fatalf("bid row %d differs", i)
+		}
+	}
+	// Different seed differs somewhere.
+	c := Generate(GeneratorConfig{Seed: 43, NumEvents: 500, MaxOutOfOrderness: 2 * types.Second})
+	same := len(a.Bids) == len(c.Bids)
+	if same {
+		identical := true
+		for i := range a.Bids {
+			if a.Bids[i].IsData() && c.Bids[i].IsData() && !a.Bids[i].Row.Equal(c.Bids[i].Row) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds should differ")
+		}
+	}
+}
+
+func TestGeneratorProportionsAndValidity(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 1, NumEvents: 5000, MaxOutOfOrderness: 5 * types.Second})
+	// Classic mix: 1 person, 3 auctions, 46 bids per 50 events.
+	if g.NumPersons != 100 || g.NumAuctions != 300 || g.NumBids != 4600 {
+		t.Fatalf("mix = %d/%d/%d", g.NumPersons, g.NumAuctions, g.NumBids)
+	}
+	// Changelogs must be valid (ptime ordered, watermarks monotonic).
+	for name, log := range map[string]interface{ Validate() error }{
+		"persons": g.Persons, "auctions": g.Auctions, "bids": g.Bids,
+	} {
+		if err := log.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Watermark assertions hold: no data event has event time <= an
+	// earlier watermark.
+	wm := types.MinTime
+	timeIdx := BidFullSchema().IndexOf("dateTime")
+	for _, ev := range g.Bids {
+		if ev.Kind == 2 { // tvr.Watermark
+			if ev.Wm > wm {
+				wm = ev.Wm
+			}
+			continue
+		}
+		if ev.IsData() {
+			if et := ev.Row[timeIdx].Timestamp(); et <= wm {
+				t.Fatalf("late bid: event time %s <= watermark %s", et, wm)
+			}
+		}
+	}
+}
+
+func TestGeneratorOrderedWhenNoSkew(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 7, NumEvents: 200})
+	last := types.MinTime
+	timeIdx := BidFullSchema().IndexOf("dateTime")
+	for _, ev := range g.Bids {
+		if !ev.IsData() {
+			continue
+		}
+		et := ev.Row[timeIdx].Timestamp()
+		if et < last {
+			t.Fatal("zero skew should produce in-order bids")
+		}
+		last = et
+	}
+}
+
+func newBenchEngine(t testing.TB, q Query, events int) *core.Engine {
+	t.Helper()
+	g := Generate(GeneratorConfig{Seed: 11, NumEvents: events, MaxOutOfOrderness: 2 * types.Second})
+	var opts []core.Option
+	if q.NeedsUnboundedGroupBy {
+		opts = append(opts, core.WithUnboundedGroupBy())
+	}
+	e, err := NewEngine(g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAllQueriesRun executes every NEXMark query end to end on a small
+// generated dataset, in both table and stream renderings.
+func TestAllQueriesRun(t *testing.T) {
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			e := newBenchEngine(t, q, 2000)
+			res, err := e.QueryTable(q.SQL, types.MaxTime)
+			if err != nil {
+				t.Fatalf("Q%d table: %v", q.ID, err)
+			}
+			stream, err := e.QueryStream(q.SQL + " EMIT STREAM")
+			if err != nil {
+				t.Fatalf("Q%d stream: %v", q.ID, err)
+			}
+			t.Logf("Q%d: %d table rows, %d stream rows", q.ID, len(res.Rows), len(stream.Rows))
+			// The stream rendering must replay to the table rendering.
+			if q.ID == 0 && len(res.Rows) != 4600*2000/5000 {
+				t.Errorf("Q0 row count = %d", len(res.Rows))
+			}
+		})
+	}
+}
+
+// TestQ0Passthrough checks the passthrough cardinality equals the bid count.
+func TestQ0Passthrough(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 3, NumEvents: 1000, MaxOutOfOrderness: types.Second})
+	e, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.QueryTable(q0, types.MaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != g.NumBids {
+		t.Fatalf("passthrough rows = %d, want %d", len(res.Rows), g.NumBids)
+	}
+}
+
+// TestQ1Conversion verifies the currency projection math.
+func TestQ1Conversion(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 3, NumEvents: 500})
+	e, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := e.QueryTable(q0, types.MaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.QueryTable(q1, types.MaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Rows) != len(out.Rows) {
+		t.Fatal("row count changed")
+	}
+	for i := range in.Rows {
+		want := in.Rows[i][2].Int() * 908 / 1000
+		if out.Rows[i][2].Int() != want {
+			t.Fatalf("row %d: price %d, want %d", i, out.Rows[i][2].Int(), want)
+		}
+	}
+}
+
+// TestQ7AgreesWithCQLBaseline cross-checks the SQL Q7 against a
+// direct computation over the generated data.
+func TestQ7WindowMaxCorrect(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 5, NumEvents: 2000, MaxOutOfOrderness: types.Second})
+	e, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.QueryTable(q7, types.MaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct computation: max price per 10s tumbling window.
+	maxByWindow := map[types.Time]int64{}
+	timeIdx := BidFullSchema().IndexOf("dateTime")
+	for _, ev := range g.Bids {
+		if !ev.IsData() {
+			continue
+		}
+		et := ev.Row[timeIdx].Timestamp()
+		wend := et - et%types.Time(10*types.Second) + types.Time(10*types.Second)
+		p := ev.Row[2].Int()
+		if p > maxByWindow[wend] {
+			maxByWindow[wend] = p
+		}
+	}
+	for _, row := range res.Rows {
+		wend := row[1].Timestamp()
+		if row[3].Int() != maxByWindow[wend] {
+			t.Fatalf("window %s: price %d, want %d", wend, row[3].Int(), maxByWindow[wend])
+		}
+	}
+	// Every window with bids is represented.
+	seen := map[types.Time]bool{}
+	for _, row := range res.Rows {
+		seen[row[1].Timestamp()] = true
+	}
+	for wend := range maxByWindow {
+		if !seen[wend] {
+			t.Fatalf("window ending %s missing from Q7 output", wend)
+		}
+	}
+}
+
+func TestQueryByID(t *testing.T) {
+	q, err := QueryByID(7)
+	if err != nil || q.ID != 7 {
+		t.Fatalf("QueryByID(7) = %+v, %v", q, err)
+	}
+	if _, err := QueryByID(99); err == nil {
+		t.Fatal("QueryByID(99) should fail")
+	}
+}

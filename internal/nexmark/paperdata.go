@@ -1,0 +1,85 @@
+// Package nexmark implements the NEXMark streaming benchmark substrate the
+// paper draws its motivating example from: the Person/Auction/Bid data
+// model, a deterministic out-of-order event generator with heuristic
+// watermarks, the benchmark queries expressed in the engine's SQL dialect,
+// and the exact example dataset of Section 4 of the paper.
+package nexmark
+
+import (
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// BidSchema is the schema of the paper's example Bid stream: an event-time
+// bid timestamp, an integer price, and an item identifier.
+func BidSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "bidtime", Kind: types.KindTimestamp, EventTime: true},
+		types.Column{Name: "price", Kind: types.KindInt64},
+		types.Column{Name: "item", Kind: types.KindString},
+	)
+}
+
+// BidRow builds one Bid row.
+func BidRow(bidtime types.Time, price int64, item string) types.Row {
+	return types.Row{
+		types.NewTimestamp(bidtime),
+		types.NewInt(price),
+		types.NewString(item),
+	}
+}
+
+// PaperBidLog is the exact example dataset from Section 4 of the paper:
+//
+//	8:07 WM -> 8:05
+//	8:08 INSERT (8:07, $2, A)
+//	8:12 INSERT (8:11, $3, B)
+//	8:13 INSERT (8:05, $4, C)
+//	8:14 WM -> 8:08
+//	8:15 INSERT (8:09, $5, D)
+//	8:16 WM -> 8:12
+//	8:17 INSERT (8:13, $1, E)
+//	8:18 INSERT (8:17, $6, F)
+//	8:21 WM -> 8:20
+//
+// The left column is processing time; bids arrive out of order in event
+// time, and the watermark estimates input completeness.
+func PaperBidLog() tvr.Changelog {
+	ct := types.ClockTime
+	return tvr.Changelog{
+		tvr.WatermarkEvent(ct(8, 7), ct(8, 5)),
+		tvr.InsertEvent(ct(8, 8), BidRow(ct(8, 7), 2, "A")),
+		tvr.InsertEvent(ct(8, 12), BidRow(ct(8, 11), 3, "B")),
+		tvr.InsertEvent(ct(8, 13), BidRow(ct(8, 5), 4, "C")),
+		tvr.WatermarkEvent(ct(8, 14), ct(8, 8)),
+		tvr.InsertEvent(ct(8, 15), BidRow(ct(8, 9), 5, "D")),
+		tvr.WatermarkEvent(ct(8, 16), ct(8, 12)),
+		tvr.InsertEvent(ct(8, 17), BidRow(ct(8, 13), 1, "E")),
+		tvr.InsertEvent(ct(8, 18), BidRow(ct(8, 17), 6, "F")),
+		tvr.WatermarkEvent(ct(8, 21), ct(8, 20)),
+	}
+}
+
+// Query7SQL is NEXMark Query 7 ("the highest bid in the most recent ten
+// minutes") written with the paper's proposed extensions — Listing 2.
+const Query7SQL = `
+SELECT
+  MaxBid.wstart wstart, MaxBid.wend wend,
+  Bid.bidtime bidtime, Bid.price price, Bid.item item
+FROM
+  Bid,
+  (SELECT
+     MAX(TumbleBid.price) maxPrice,
+     TumbleBid.wstart wstart,
+     TumbleBid.wend wend
+   FROM
+     Tumble(
+       data => TABLE(Bid),
+       timecol => DESCRIPTOR(bidtime),
+       dur => INTERVAL '10' MINUTE) TumbleBid
+   GROUP BY
+     TumbleBid.wend, TumbleBid.wstart) MaxBid
+WHERE
+  Bid.price = MaxBid.maxPrice AND
+  Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE AND
+  Bid.bidtime < MaxBid.wend`

@@ -1,0 +1,37 @@
+// Package plan implements the logical planner and validator: it turns parsed
+// SQL ASTs into trees of logical operators with compiled (index-resolved,
+// type-checked) scalar expressions, tracking event-time alignment through
+// every operator and enforcing the paper's streaming validity rules
+// (Extension 2: grouping unbounded inputs requires an event-time key).
+package plan
+
+import "repro/internal/types"
+
+// Catalog resolves relation names for the planner.
+type Catalog interface {
+	// Resolve returns the relation with the given (case-insensitive)
+	// name, or an error if it does not exist.
+	Resolve(name string) (*Relation, error)
+}
+
+// Relation is a catalog entry: a named TVR that queries can scan.
+type Relation struct {
+	// Name is the canonical relation name.
+	Name string
+	// Schema describes the relation's columns, including which are
+	// watermarked event-time columns.
+	Schema *types.Schema
+	// Unbounded is true for streams (relations that never stop evolving)
+	// and false for classic bounded tables. The distinction drives the
+	// paper's Extension 2 validation.
+	Unbounded bool
+}
+
+// Config adjusts planner validation.
+type Config struct {
+	// AllowUnboundedGroupBy disables the Extension 2 check that a GROUP
+	// BY over an unbounded input must include an event-time grouping key.
+	// It exists for experiments that deliberately demonstrate unbounded
+	// state growth; production use should leave it false.
+	AllowUnboundedGroupBy bool
+}

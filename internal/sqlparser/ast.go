@@ -1,0 +1,578 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Query is a full query: a body (SELECT or set operation) plus the
+// top-level ORDER BY / LIMIT and the paper's EMIT materialization clause.
+type Query struct {
+	Body    QueryBody
+	OrderBy []OrderItem
+	Limit   Expr // nil when absent
+	Emit    *EmitClause
+}
+
+// QueryBody is either a *SelectStmt or a *SetOpQuery.
+type QueryBody interface {
+	queryBody()
+	String() string
+}
+
+// SelectStmt is a single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableExpr // comma-separated relations (implicit cross join)
+	Where    Expr        // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+}
+
+func (*SelectStmt) queryBody() {}
+
+// SetOpKind enumerates set operations.
+type SetOpKind uint8
+
+// Set operation kinds.
+const (
+	Union SetOpKind = iota
+	Intersect
+	Except
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case Union:
+		return "UNION"
+	case Intersect:
+		return "INTERSECT"
+	default:
+		return "EXCEPT"
+	}
+}
+
+// SetOpQuery combines two query bodies with UNION/INTERSECT/EXCEPT.
+type SetOpQuery struct {
+	Op    SetOpKind
+	All   bool
+	Left  QueryBody
+	Right QueryBody
+}
+
+func (*SetOpQuery) queryBody() {}
+
+// SelectItem is one projection item: an expression with optional alias, or a
+// star (possibly qualified: t.*).
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	StarTable string // qualifier for t.*; empty for bare *
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// EmitClause captures the EMIT extensions (Extensions 4–7):
+// EMIT [STREAM] [AFTER WATERMARK] [AND] [AFTER DELAY interval].
+type EmitClause struct {
+	Stream         bool
+	AfterWatermark bool
+	AfterDelay     Expr // interval expression; nil when absent
+}
+
+// TableExpr is a relation in the FROM clause.
+type TableExpr interface {
+	tableExpr()
+	String() string
+}
+
+// TableRef names a catalog table or stream, with optional alias and optional
+// AS OF SYSTEM TIME snapshot expression (temporal access).
+type TableRef struct {
+	Name  string
+	Alias string
+	AsOf  Expr // nil unless AS OF SYSTEM TIME was given
+}
+
+// SubqueryRef is a derived table: a parenthesised query with an alias.
+type SubqueryRef struct {
+	Query *Query
+	Alias string
+}
+
+// TVFRef invokes a table-valued function (Tumble, Hop, Session) in FROM.
+type TVFRef struct {
+	Name  string
+	Args  []TVFArg
+	Alias string
+}
+
+// JoinKind enumerates explicit join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+	CrossJoin
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case InnerJoin:
+		return "INNER JOIN"
+	case LeftJoin:
+		return "LEFT JOIN"
+	case RightJoin:
+		return "RIGHT JOIN"
+	case FullJoin:
+		return "FULL JOIN"
+	default:
+		return "CROSS JOIN"
+	}
+}
+
+// JoinExpr is an explicit JOIN with an ON condition.
+type JoinExpr struct {
+	Kind  JoinKind
+	Left  TableExpr
+	Right TableExpr
+	On    Expr // nil for CROSS JOIN
+}
+
+func (*TableRef) tableExpr()    {}
+func (*SubqueryRef) tableExpr() {}
+func (*TVFRef) tableExpr()      {}
+func (*JoinExpr) tableExpr()    {}
+
+// TVFArg is one (possibly named) argument of a table-valued function call.
+type TVFArg struct {
+	Name  string // "" for positional
+	Value TVFArgValue
+}
+
+// TVFArgValue is a TableArg, DescriptorArg, or ExprArg.
+type TVFArgValue interface {
+	tvfArgValue()
+	String() string
+}
+
+// TableArg passes a relation: TABLE(name), TABLE name, or a subquery.
+type TableArg struct {
+	Table TableExpr
+}
+
+// DescriptorArg passes column names: DESCRIPTOR(col, ...).
+type DescriptorArg struct {
+	Cols []string
+}
+
+// ExprArg passes a scalar expression.
+type ExprArg struct {
+	E Expr
+}
+
+func (*TableArg) tvfArgValue()      {}
+func (*DescriptorArg) tvfArgValue() {}
+func (*ExprArg) tvfArgValue()       {}
+
+// Expr is a scalar expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+// Literal is a constant value (number, string, boolean, NULL, interval,
+// timestamp).
+type Literal struct {
+	Val types.Value
+}
+
+// BinOpKind enumerates binary operators.
+type BinOpKind uint8
+
+// Binary operators.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+var binOpNames = map[BinOpKind]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpConcat: "||",
+}
+
+func (k BinOpKind) String() string { return binOpNames[k] }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOpKind
+	L, R Expr
+}
+
+// UnaryExpr applies unary minus or NOT.
+type UnaryExpr struct {
+	Neg bool // true: -E, false: NOT E
+	E   Expr
+}
+
+// FuncCall invokes a scalar or aggregate function. COUNT(*) sets Star.
+type FuncCall struct {
+	Name     string // canonical upper-case name
+	Args     []Expr
+	Distinct bool
+	Star     bool
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil when absent
+}
+
+// WhenClause is one WHEN/THEN pair.
+type WhenClause struct {
+	When Expr
+	Then Expr
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct {
+	Query *Query
+}
+
+// BetweenExpr is E [NOT] BETWEEN Lo AND Hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// IsNullExpr is E IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// InExpr is E [NOT] IN (value, ...).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// CastExpr is CAST(E AS type).
+type CastExpr struct {
+	E  Expr
+	To types.Kind
+}
+
+func (*ColumnRef) exprNode()    {}
+func (*Literal) exprNode()      {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*FuncCall) exprNode()     {}
+func (*CaseExpr) exprNode()     {}
+func (*SubqueryExpr) exprNode() {}
+func (*BetweenExpr) exprNode()  {}
+func (*IsNullExpr) exprNode()   {}
+func (*InExpr) exprNode()       {}
+func (*CastExpr) exprNode()     {}
+
+// ---- String rendering (produces re-parseable SQL) ----
+
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString(q.Body.String())
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(q.Limit.String())
+	}
+	if q.Emit != nil {
+		sb.WriteString(" EMIT")
+		if q.Emit.Stream {
+			sb.WriteString(" STREAM")
+		}
+		wroteAfter := false
+		if q.Emit.AfterDelay != nil {
+			sb.WriteString(" AFTER DELAY ")
+			sb.WriteString(q.Emit.AfterDelay.String())
+			wroteAfter = true
+		}
+		if q.Emit.AfterWatermark {
+			if wroteAfter {
+				sb.WriteString(" AND")
+			}
+			sb.WriteString(" AFTER WATERMARK")
+		}
+	}
+	return sb.String()
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			sb.WriteString(it.StarTable + ".*")
+		case it.Star:
+			sb.WriteString("*")
+		default:
+			sb.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				sb.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(t.String())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	return sb.String()
+}
+
+func (s *SetOpQuery) String() string {
+	op := s.Op.String()
+	if s.All {
+		op += " ALL"
+	}
+	return fmt.Sprintf("%s %s %s", s.Left.String(), op, s.Right.String())
+}
+
+func (t *TableRef) String() string {
+	s := t.Name
+	if t.AsOf != nil {
+		s += " AS OF SYSTEM TIME " + t.AsOf.String()
+	}
+	if t.Alias != "" {
+		s += " " + t.Alias
+	}
+	return s
+}
+
+func (t *SubqueryRef) String() string {
+	s := "(" + t.Query.String() + ")"
+	if t.Alias != "" {
+		s += " " + t.Alias
+	}
+	return s
+}
+
+func (t *TVFRef) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Name)
+	sb.WriteByte('(')
+	for i, a := range t.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if a.Name != "" {
+			sb.WriteString(a.Name + " => ")
+		}
+		sb.WriteString(a.Value.String())
+	}
+	sb.WriteByte(')')
+	if t.Alias != "" {
+		sb.WriteString(" " + t.Alias)
+	}
+	return sb.String()
+}
+
+func (j *JoinExpr) String() string {
+	s := j.Left.String() + " " + j.Kind.String() + " " + j.Right.String()
+	if j.On != nil {
+		s += " ON " + j.On.String()
+	}
+	return s
+}
+
+func (a *TableArg) String() string { return "TABLE(" + a.Table.String() + ")" }
+
+func (a *DescriptorArg) String() string {
+	return "DESCRIPTOR(" + strings.Join(a.Cols, ", ") + ")"
+}
+
+func (a *ExprArg) String() string { return a.E.String() }
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func (l *Literal) String() string {
+	switch l.Val.Kind() {
+	case types.KindString:
+		return "'" + strings.ReplaceAll(l.Val.Str(), "'", "''") + "'"
+	case types.KindInterval:
+		d := l.Val.Interval()
+		switch {
+		case d%types.Hour == 0 && d != 0:
+			return fmt.Sprintf("INTERVAL '%d' HOUR", int64(d/types.Hour))
+		case d%types.Minute == 0:
+			return fmt.Sprintf("INTERVAL '%d' MINUTE", int64(d/types.Minute))
+		case d%types.Second == 0:
+			return fmt.Sprintf("INTERVAL '%d' SECOND", int64(d/types.Second))
+		default:
+			return fmt.Sprintf("INTERVAL '%d' MILLISECOND", int64(d))
+		}
+	case types.KindTimestamp:
+		return fmt.Sprintf("TIMESTAMP '%s'", l.Val.Timestamp())
+	default:
+		return l.Val.String()
+	}
+}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+func (u *UnaryExpr) String() string {
+	if u.Neg {
+		return "(-" + u.E.String() + ")"
+	}
+	return "(NOT " + u.E.String() + ")"
+}
+
+func (f *FuncCall) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Name)
+	sb.WriteByte('(')
+	if f.Star {
+		sb.WriteByte('*')
+	} else {
+		if f.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range f.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func (c *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" " + c.Operand.String())
+	}
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.When.String() + " THEN " + w.Then.String())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (s *SubqueryExpr) String() string { return "(" + s.Query.String() + ")" }
+
+func (b *BetweenExpr) String() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.E.String() + " " + not + "BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+func (i *IsNullExpr) String() string {
+	if i.Not {
+		return "(" + i.E.String() + " IS NOT NULL)"
+	}
+	return "(" + i.E.String() + " IS NULL)"
+}
+
+func (i *InExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("(" + i.E.String())
+	if i.Not {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	for j, e := range i.List {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+func (c *CastExpr) String() string {
+	return "CAST(" + c.E.String() + " AS " + c.To.String() + ")"
+}

@@ -1,0 +1,190 @@
+// Package sqlparser implements the lexer, AST, and recursive-descent parser
+// for the engine's SQL dialect: standard SQL queries (joins, subqueries,
+// aggregates, CASE, set operations) plus the paper's streaming constructs —
+// table-valued windowing functions with named arguments and DESCRIPTOR
+// column references, INTERVAL literals, the EMIT materialization clause
+// (Extensions 4–7), and AS OF SYSTEM TIME temporal access.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords are recognised by
+	// the parser; Text preserves the original spelling, Upper the
+	// canonical form).
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (Text holds the
+	// unquoted value).
+	TokString
+	// TokOp is an operator or punctuation token such as , ( ) = <> =>.
+	TokOp
+)
+
+// Token is one lexical token with its source position (for error messages).
+type Token struct {
+	Kind  TokenKind
+	Text  string // original text (unquoted for strings)
+	Upper string // uppercase form for idents/operators
+	Pos   int    // byte offset in the input
+	Line  int    // 1-based line number
+	Col   int    // 1-based column number
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// SyntaxError is a lexing or parsing error with position information.
+type SyntaxError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: %s (line %d, column %d)", e.Msg, e.Line, e.Col)
+}
+
+// Lex tokenizes a SQL text. It supports identifiers (optionally
+// double-quoted), numbers, single-quoted strings with '' escaping, line
+// comments (--), block comments (/* */), and multi-character operators
+// (<=, >=, <>, !=, =>, ||).
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(input)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if input[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	errf := func(format string, args ...any) error {
+		return &SyntaxError{Msg: fmt.Sprintf(format, args...), Line: line, Col: col}
+	}
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			start := i
+			advance(2)
+			for i < n && !(input[i] == '*' && i+1 < n && input[i+1] == '/') {
+				advance(1)
+			}
+			if i >= n {
+				return nil, errf("unterminated block comment starting at offset %d", start)
+			}
+			advance(2)
+		case c == '\'':
+			pos, ln, cl := i, line, col
+			advance(1)
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						advance(2)
+						continue
+					}
+					advance(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &SyntaxError{Msg: "unterminated string literal", Line: ln, Col: cl}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: pos, Line: ln, Col: cl})
+		case c == '"':
+			pos, ln, cl := i, line, col
+			advance(1)
+			start := i
+			for i < n && input[i] != '"' {
+				advance(1)
+			}
+			if i >= n {
+				return nil, &SyntaxError{Msg: "unterminated quoted identifier", Line: ln, Col: cl}
+			}
+			text := input[start:i]
+			advance(1)
+			toks = append(toks, Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: pos, Line: ln, Col: cl})
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			pos, ln, cl := i, line, col
+			start := i
+			seenDot := false
+			for i < n && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: pos, Line: ln, Col: cl})
+		case isIdentStart(c):
+			pos, ln, cl := i, line, col
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				advance(1)
+			}
+			text := input[start:i]
+			toks = append(toks, Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: pos, Line: ln, Col: cl})
+		default:
+			pos, ln, cl := i, line, col
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "=>", "||":
+				toks = append(toks, Token{Kind: TokOp, Text: two, Upper: two, Pos: pos, Line: ln, Col: cl})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '(', ')', ',', '.', ';', '=', '<', '>':
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Upper: string(c), Pos: pos, Line: ln, Col: cl})
+				advance(1)
+			default:
+				return nil, errf("unexpected character %q", string(rune(c)))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: i, Line: line, Col: col})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '$' }

@@ -1,0 +1,425 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 'it''s', 1.5 -- comment\n/* block */ <= => <> \"Quoted\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		kinds = append(kinds, tok.Text)
+	}
+	want := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "1.5", "<=", "=>", "<>", "Quoted"}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "\"unterminated", "/* unterminated", "SELECT @"} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("SELECT\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("x at line %d col %d, want 2,3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, "SELECT a, b AS bee, t.c FROM tbl WHERE a > 1 AND b = 'x'")
+	sel := q.Body.(*SelectStmt)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "bee" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if cr := sel.Items[2].Expr.(*ColumnRef); cr.Table != "t" || cr.Name != "c" {
+		t.Errorf("qualified ref = %+v", cr)
+	}
+	if _, ok := sel.From[0].(*TableRef); !ok {
+		t.Errorf("from = %T", sel.From[0])
+	}
+	if sel.Where == nil {
+		t.Error("missing where")
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	q := mustParse(t, "SELECT price maxPrice FROM Bid B")
+	sel := q.Body.(*SelectStmt)
+	if sel.Items[0].Alias != "maxPrice" {
+		t.Errorf("implicit alias = %q", sel.Items[0].Alias)
+	}
+	if sel.From[0].(*TableRef).Alias != "B" {
+		t.Errorf("table alias = %q", sel.From[0].(*TableRef).Alias)
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	q := mustParse(t, "SELECT k, SUM(v) FROM t GROUP BY k HAVING SUM(v) > 10 ORDER BY k DESC LIMIT 5")
+	sel := q.Body.(*SelectStmt)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatal("group by / having missing")
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc {
+		t.Fatal("order by missing")
+	}
+	if q.Limit == nil || q.Limit.(*Literal).Val.Int() != 5 {
+		t.Fatal("limit missing")
+	}
+	agg := sel.Items[1].Expr.(*FuncCall)
+	if agg.Name != "SUM" || len(agg.Args) != 1 {
+		t.Fatalf("agg = %+v", agg)
+	}
+}
+
+func TestParseCountStarDistinct(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(*), COUNT(DISTINCT x) FROM t")
+	sel := q.Body.(*SelectStmt)
+	if !sel.Items[0].Expr.(*FuncCall).Star {
+		t.Error("COUNT(*) star flag")
+	}
+	if !sel.Items[1].Expr.(*FuncCall).Distinct {
+		t.Error("COUNT(DISTINCT) flag")
+	}
+}
+
+func TestParseIntervalAndTimestampLiterals(t *testing.T) {
+	q := mustParse(t, "SELECT INTERVAL '10' MINUTE, TIMESTAMP '8:07', INTERVAL '2' HOURS")
+	sel := q.Body.(*SelectStmt)
+	if v := sel.Items[0].Expr.(*Literal).Val; v.Interval() != 10*types.Minute {
+		t.Errorf("interval = %v", v)
+	}
+	if v := sel.Items[1].Expr.(*Literal).Val; v.Timestamp() != types.ClockTime(8, 7) {
+		t.Errorf("timestamp = %v", v)
+	}
+	if v := sel.Items[2].Expr.(*Literal).Val; v.Interval() != 2*types.Hour {
+		t.Errorf("hours = %v", v)
+	}
+}
+
+func TestParseTumbleTVF(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES) TumbleBid`)
+	sel := q.Body.(*SelectStmt)
+	tvf := sel.From[0].(*TVFRef)
+	if tvf.Name != "TUMBLE" || tvf.Alias != "TumbleBid" {
+		t.Fatalf("tvf = %+v", tvf)
+	}
+	if len(tvf.Args) != 3 {
+		t.Fatalf("args = %d", len(tvf.Args))
+	}
+	if tvf.Args[0].Name != "data" {
+		t.Errorf("arg0 name = %q", tvf.Args[0].Name)
+	}
+	ta := tvf.Args[0].Value.(*TableArg)
+	if ta.Table.(*TableRef).Name != "Bid" {
+		t.Errorf("table arg = %+v", ta)
+	}
+	da := tvf.Args[1].Value.(*DescriptorArg)
+	if len(da.Cols) != 1 || da.Cols[0] != "bidtime" {
+		t.Errorf("descriptor = %+v", da)
+	}
+	ea := tvf.Args[2].Value.(*ExprArg)
+	if ea.E.(*Literal).Val.Interval() != 10*types.Minute {
+		t.Errorf("dur = %+v", ea)
+	}
+}
+
+func TestParseTableArgWithoutParens(t *testing.T) {
+	// Listing 7 writes "data => TABLE Bids".
+	q := mustParse(t, `SELECT * FROM Hop(data => TABLE Bids, timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, hopsize => INTERVAL '5' MINUTES)`)
+	tvf := q.Body.(*SelectStmt).From[0].(*TVFRef)
+	if tvf.Args[0].Value.(*TableArg).Table.(*TableRef).Name != "Bids" {
+		t.Errorf("TABLE without parens failed: %+v", tvf.Args[0])
+	}
+}
+
+func TestParsePaperQuery7(t *testing.T) {
+	// The full Listing 2 query from the paper.
+	sql := `
+SELECT
+  MaxBid.wstart, MaxBid.wend,
+  Bid.bidtime, Bid.price, Bid.itemid
+FROM
+  Bid,
+  (SELECT
+     MAX(TumbleBid.price) maxPrice,
+     TumbleBid.wstart wstart,
+     TumbleBid.wend wend
+   FROM Tumble(
+     data => TABLE(Bid),
+     timecol => DESCRIPTOR(bidtime),
+     dur => INTERVAL '10' MINUTE) TumbleBid
+   GROUP BY TumbleBid.wend) MaxBid
+WHERE
+  Bid.price = MaxBid.maxPrice AND
+  Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE AND
+  Bid.bidtime < MaxBid.wend;`
+	q := mustParse(t, sql)
+	sel := q.Body.(*SelectStmt)
+	if len(sel.From) != 2 {
+		t.Fatalf("from len = %d", len(sel.From))
+	}
+	sub, ok := sel.From[1].(*SubqueryRef)
+	if !ok || sub.Alias != "MaxBid" {
+		t.Fatalf("subquery = %+v", sel.From[1])
+	}
+	inner := sub.Query.Body.(*SelectStmt)
+	if len(inner.GroupBy) != 1 {
+		t.Fatalf("inner group by = %d", len(inner.GroupBy))
+	}
+	if _, ok := inner.From[0].(*TVFRef); !ok {
+		t.Fatalf("inner from = %T", inner.From[0])
+	}
+	// WHERE is a conjunction of three predicates.
+	and1 := sel.Where.(*BinaryExpr)
+	if and1.Op != OpAnd {
+		t.Fatal("where should be AND")
+	}
+}
+
+func TestParseEmitVariants(t *testing.T) {
+	cases := []struct {
+		sql            string
+		stream, wm     bool
+		delay          types.Duration
+	}{
+		{"SELECT a FROM t EMIT STREAM", true, false, 0},
+		{"SELECT a FROM t EMIT AFTER WATERMARK", false, true, 0},
+		{"SELECT a FROM t EMIT STREAM AFTER WATERMARK", true, true, 0},
+		{"SELECT a FROM t EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES", true, false, 6 * types.Minute},
+		{"SELECT a FROM t EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES AND AFTER WATERMARK", true, true, 6 * types.Minute},
+		{"SELECT a FROM t EMIT AFTER DELAY INTERVAL '1' SECOND AND AFTER WATERMARK", false, true, types.Second},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.sql)
+		if q.Emit == nil {
+			t.Fatalf("%q: no emit", c.sql)
+		}
+		if q.Emit.Stream != c.stream || q.Emit.AfterWatermark != c.wm {
+			t.Errorf("%q: emit = %+v", c.sql, q.Emit)
+		}
+		if c.delay == 0 && q.Emit.AfterDelay != nil {
+			t.Errorf("%q: unexpected delay", c.sql)
+		}
+		if c.delay != 0 {
+			if q.Emit.AfterDelay == nil {
+				t.Errorf("%q: missing delay", c.sql)
+			} else if d := q.Emit.AfterDelay.(*Literal).Val.Interval(); d != c.delay {
+				t.Errorf("%q: delay = %v", c.sql, d)
+			}
+		}
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.y = c.z")
+	j := q.Body.(*SelectStmt).From[0].(*JoinExpr)
+	if j.Kind != LeftJoin {
+		t.Fatalf("outer join kind = %v", j.Kind)
+	}
+	inner := j.Left.(*JoinExpr)
+	if inner.Kind != InnerJoin || inner.On == nil {
+		t.Fatalf("inner join = %+v", inner)
+	}
+	q = mustParse(t, "SELECT * FROM a CROSS JOIN b")
+	if q.Body.(*SelectStmt).From[0].(*JoinExpr).Kind != CrossJoin {
+		t.Fatal("cross join")
+	}
+	q = mustParse(t, "SELECT * FROM a FULL OUTER JOIN b ON a.x = b.x")
+	if q.Body.(*SelectStmt).From[0].(*JoinExpr).Kind != FullJoin {
+		t.Fatal("full join")
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v")
+	outer := q.Body.(*SetOpQuery)
+	if outer.Op != Union || outer.All {
+		t.Fatalf("outer = %+v", outer)
+	}
+	inner := outer.Left.(*SetOpQuery)
+	if inner.Op != Union || !inner.All {
+		t.Fatalf("inner = %+v", inner)
+	}
+}
+
+func TestParseScalarSubquery(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)")
+	where := q.Body.(*SelectStmt).Where.(*BinaryExpr)
+	if _, ok := where.R.(*SubqueryExpr); !ok {
+		t.Fatalf("rhs = %T", where.R)
+	}
+}
+
+func TestParseCaseCastBetweenInIsNull(t *testing.T) {
+	q := mustParse(t, `SELECT
+		CASE WHEN a > 1 THEN 'big' ELSE 'small' END,
+		CASE a WHEN 1 THEN 'one' END,
+		CAST(a AS DOUBLE),
+		CAST(b AS VARCHAR(10))
+	FROM t
+	WHERE a BETWEEN 1 AND 10 AND b IS NOT NULL AND c IN (1, 2, 3) AND d NOT IN (4) AND e IS NULL AND f NOT BETWEEN 0 AND 1`)
+	sel := q.Body.(*SelectStmt)
+	if len(sel.Items) != 4 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[1].Expr.(*CaseExpr).Operand == nil {
+		t.Error("simple CASE operand missing")
+	}
+	if sel.Items[2].Expr.(*CastExpr).To != types.KindFloat64 {
+		t.Error("cast kind")
+	}
+}
+
+func TestParseAsOfSystemTime(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Bid AS OF SYSTEM TIME TIMESTAMP '8:13' B")
+	ref := q.Body.(*SelectStmt).From[0].(*TableRef)
+	if ref.AsOf == nil {
+		t.Fatal("AS OF missing")
+	}
+	if ref.Alias != "B" {
+		t.Errorf("alias = %q", ref.Alias)
+	}
+	if ref.AsOf.(*Literal).Val.Timestamp() != types.ClockTime(8, 13) {
+		t.Errorf("asof = %v", ref.AsOf)
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	q := mustParse(t, "SELECT b.*, a.x FROM a, b")
+	sel := q.Body.(*SelectStmt)
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "b" {
+		t.Fatalf("qualified star = %+v", sel.Items[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT 1 + 2 * 3 - -4")
+	e := q.Body.(*SelectStmt).Items[0].Expr
+	// ((1 + (2*3)) - (-4))
+	want := "((1 + (2 * 3)) - (-4))"
+	if e.String() != want {
+		t.Errorf("precedence: %s, want %s", e.String(), want)
+	}
+	q = mustParse(t, "SELECT a OR b AND NOT c = d")
+	e = q.Body.(*SelectStmt).Items[0].Expr
+	want = "(a OR (b AND (NOT (c = d))))"
+	if e.String() != want {
+		t.Errorf("bool precedence: %s, want %s", e.String(), want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t EMIT",
+		"SELECT a FROM t EMIT AFTER",
+		"SELECT a FROM t EMIT AFTER NONSENSE",
+		"SELECT a FROM t ORDER",
+		"SELECT CAST(a AS NOPE) FROM t",
+		"SELECT CASE END FROM t",
+		"SELECT INTERVAL 'x' MINUTE",
+		"SELECT INTERVAL '5' FORTNIGHT",
+		"SELECT a FROM t; SELECT b FROM u",
+		"SELECT a FROM t)",
+		"SELECT (SELECT a FROM t",
+		"SELECT a BETWEEN 1 FROM t",
+		"SELECT a FROM Tumble(data => )",
+		"SELECT a FROM t AS OF SYSTEM CLOCK x",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Parse(%q) error type %T", sql, err)
+		}
+	}
+}
+
+// Round-trip: parsing the String() rendering yields the same rendering.
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, b AS bee FROM t WHERE a > 1",
+		"SELECT DISTINCT a FROM t",
+		"SELECT COUNT(*) FROM t GROUP BY k HAVING COUNT(*) > 2",
+		"SELECT * FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) TB",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT a FROM t ORDER BY a DESC LIMIT 3",
+		"SELECT a FROM t EMIT STREAM AFTER DELAY INTERVAL '6' MINUTE AND AFTER WATERMARK",
+		"SELECT * FROM a JOIN b ON a.x = b.y",
+		"SELECT * FROM a LEFT JOIN b ON a.x = b.y",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"SELECT * FROM Bid AS OF SYSTEM TIME TIMESTAMP '8:13'",
+		"SELECT x FROM t WHERE p = (SELECT MAX(p) FROM t)",
+		"SELECT t.* FROM t",
+		"SELECT a FROM t WHERE b IS NOT NULL AND c IN (1, 2)",
+	}
+	for _, sql := range queries {
+		q1 := mustParse(t, sql)
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v\nrendered: %s", sql, err, s1)
+			continue
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Errorf("round trip: %q -> %q -> %q", sql, s1, s2)
+		}
+	}
+}
+
+func TestParseSemicolonAndComments(t *testing.T) {
+	q := mustParse(t, "SELECT a -- trailing\nFROM t /* mid */ WHERE a > 0;")
+	if q.Body.(*SelectStmt).Where == nil {
+		t.Fatal("where lost")
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("SELECT a FROM t WHERE")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

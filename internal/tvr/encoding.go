@@ -1,0 +1,112 @@
+package tvr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// This file implements the two changelog encodings discussed in Appendix
+// B.2.3 of the paper: retraction streams (every change as INSERT/DELETE,
+// fully general) and upsert streams (UPSERT/DELETE with respect to a unique
+// key, which encodes an UPDATE as a single message and is therefore more
+// compact for keyed relations).
+
+// UpsertKind discriminates upsert-stream messages.
+type UpsertKind uint8
+
+const (
+	// Upsert replaces (or inserts) the row for its key.
+	Upsert UpsertKind = iota
+	// UpsertDelete removes the row for its key.
+	UpsertDelete
+)
+
+// UpsertEvent is one message of an upsert stream.
+type UpsertEvent struct {
+	Ptime types.Time
+	Kind  UpsertKind
+	Row   types.Row // full row for Upsert; key columns suffice for Delete but we carry the full row
+}
+
+// ToUpsert re-encodes a retraction changelog as an upsert stream with respect
+// to the unique key at keyIdxs. A DELETE immediately followed by an INSERT
+// with the same key at the same processing time — the retraction encoding of
+// an UPDATE — collapses into one Upsert message, which is exactly the saving
+// the paper attributes to upsert streams (collapsing across distinct ptimes
+// would change intermediate snapshots, so it is not done). It is an error for
+// the changelog to contain two live rows with the same key.
+func ToUpsert(c Changelog, keyIdxs []int) ([]UpsertEvent, error) {
+	live := make(map[string]types.Row)
+	var out []UpsertEvent
+	var pendingDel *UpsertEvent // held back to see if an insert replaces it
+	flush := func() {
+		if pendingDel != nil {
+			out = append(out, *pendingDel)
+			pendingDel = nil
+		}
+	}
+	for _, e := range c {
+		if !e.IsData() {
+			continue
+		}
+		k := e.Row.KeyOf(keyIdxs)
+		switch e.Kind {
+		case Delete:
+			flush()
+			old, ok := live[k]
+			if !ok {
+				return nil, fmt.Errorf("tvr: upsert encoding: delete of absent key %v", e.Row)
+			}
+			if !old.Equal(e.Row) {
+				return nil, fmt.Errorf("tvr: upsert encoding: delete row %v does not match live row %v", e.Row, old)
+			}
+			delete(live, k)
+			pendingDel = &UpsertEvent{Ptime: e.Ptime, Kind: UpsertDelete, Row: e.Row}
+		case Insert:
+			if _, ok := live[k]; ok {
+				return nil, fmt.Errorf("tvr: upsert encoding requires unique key; duplicate key for %v", e.Row)
+			}
+			if pendingDel != nil {
+				if pendingDel.Ptime == e.Ptime && pendingDel.Row.KeyOf(keyIdxs) == k {
+					// Same-ptime DELETE+INSERT on one key is an
+					// UPDATE: collapse to a single UPSERT.
+					pendingDel = nil
+				} else {
+					flush()
+				}
+			}
+			live[k] = e.Row
+			out = append(out, UpsertEvent{Ptime: e.Ptime, Kind: Upsert, Row: e.Row})
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// FromUpsert expands an upsert stream back into a retraction changelog.
+// Together with ToUpsert it witnesses that the two encodings describe the
+// same TVR (they produce equal snapshots at every ptime).
+func FromUpsert(events []UpsertEvent, keyIdxs []int) (Changelog, error) {
+	live := make(map[string]types.Row)
+	var out Changelog
+	for _, e := range events {
+		k := e.Row.KeyOf(keyIdxs)
+		switch e.Kind {
+		case Upsert:
+			if old, ok := live[k]; ok {
+				out = append(out, DeleteEvent(e.Ptime, old))
+			}
+			live[k] = e.Row
+			out = append(out, InsertEvent(e.Ptime, e.Row))
+		case UpsertDelete:
+			old, ok := live[k]
+			if !ok {
+				return nil, fmt.Errorf("tvr: upsert replay: delete of absent key %v", e.Row)
+			}
+			delete(live, k)
+			out = append(out, DeleteEvent(e.Ptime, old))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package tvr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// StreamRow is one row of the stream rendering of a TVR (Extension 4): the
+// underlying relation row plus the changelog metadata columns the paper's
+// EMIT STREAM examples show.
+type StreamRow struct {
+	// Row is the relation row affected.
+	Row types.Row
+	// Undo is true when the row is a retraction of a previous row.
+	Undo bool
+	// Ptime is the processing-time offset of the change in the changelog.
+	Ptime types.Time
+	// Ver is a sequence number versioning this row with respect to other
+	// rows of the same event-time grouping.
+	Ver int
+}
+
+// String renders the stream row as "(cols...) undo=? ptime=.. ver=..".
+func (s StreamRow) String() string {
+	undo := ""
+	if s.Undo {
+		undo = " undo"
+	}
+	return fmt.Sprintf("%s%s ptime=%s ver=%d", s.Row, undo, s.Ptime, s.Ver)
+}
+
+// RenderStream converts a changelog into its stream rendering, assigning each
+// change a version number relative to other changes of the same group. The
+// group of a row is identified by the values at keyIdxs (in the paper's
+// examples, the window columns wstart/wend); if keyIdxs is empty every row
+// belongs to one global group and versions are assigned per identical row
+// content instead, which matches "changes to the same event time grouping"
+// degenerating to the whole relation.
+func RenderStream(c Changelog, keyIdxs []int) []StreamRow {
+	vers := make(map[string]int)
+	var out []StreamRow
+	for _, e := range c {
+		if !e.IsData() {
+			continue
+		}
+		var gk string
+		if len(keyIdxs) > 0 {
+			gk = e.Row.KeyOf(keyIdxs)
+		} else {
+			gk = ""
+		}
+		v := vers[gk]
+		vers[gk] = v + 1
+		out = append(out, StreamRow{
+			Row:   e.Row,
+			Undo:  e.Kind == Delete,
+			Ptime: e.Ptime,
+			Ver:   v,
+		})
+	}
+	return out
+}
+
+// ReplayStream converts a stream rendering back into the underlying
+// changelog, demonstrating the declarative stream->table conversion the
+// paper highlights (Section 3.3.1: no special operators needed).
+func ReplayStream(rows []StreamRow) Changelog {
+	out := make(Changelog, 0, len(rows))
+	for _, s := range rows {
+		if s.Undo {
+			out = append(out, DeleteEvent(s.Ptime, s.Row))
+		} else {
+			out = append(out, InsertEvent(s.Ptime, s.Row))
+		}
+	}
+	return out
+}
+
+// FormatStreamTable renders stream rows as the paper's EMIT STREAM listings
+// do: the relation columns followed by undo, ptime, and ver.
+func FormatStreamTable(schema *types.Schema, rows []StreamRow) string {
+	headers := append(append([]string{}, schema.Names()...), "undo", "ptime", "ver")
+	var cells [][]string
+	for _, s := range rows {
+		row := make([]string, 0, len(headers))
+		for _, v := range s.Row {
+			row = append(row, v.String())
+		}
+		undo := ""
+		if s.Undo {
+			undo = "undo"
+		}
+		row = append(row, undo, s.Ptime.String(), fmt.Sprint(s.Ver))
+		cells = append(cells, row)
+	}
+	return FormatTable(headers, cells)
+}
+
+// FormatRelationTable renders plain relation rows as a bordered text table in
+// the style of the paper's listings.
+func FormatRelationTable(schema *types.Schema, rows []types.Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		row := make([]string, 0, len(r))
+		for _, v := range r {
+			row = append(row, v.String())
+		}
+		cells = append(cells, row)
+	}
+	return FormatTable(schema.Names(), cells)
+}
+
+// FormatTable renders a simple bordered text table with one header row.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, w := range widths {
+		total += w + 3
+	}
+	border := strings.Repeat("-", total)
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		sb.WriteByte('|')
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&sb, " %-*s |", w, c)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(border)
+	sb.WriteByte('\n')
+	writeRow(headers)
+	sb.WriteString(border)
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	sb.WriteString(border)
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,251 @@
+package types
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// Row is a tuple of values. Rows are positional; column names and types live
+// in the accompanying Schema.
+type Row []Value
+
+// Clone returns a copy of the row that shares no backing storage.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports whether two rows have the same length and pairwise-equal
+// values.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns a new row with o's values appended after r's.
+func (r Row) Concat(o Row) Row {
+	out := make(Row, 0, len(r)+len(o))
+	out = append(out, r...)
+	return append(out, o...)
+}
+
+// Project returns a new row containing the values at the given indexes.
+func (r Row) Project(idxs []int) Row {
+	out := make(Row, len(idxs))
+	for i, idx := range idxs {
+		out[i] = r[idx]
+	}
+	return out
+}
+
+// Key returns a canonical byte-string encoding of the row, suitable for use
+// as a map key in operator state. Numeric values encode through float64 so
+// that BIGINT 1 and DOUBLE 1.0 produce the same key (mirroring Equal).
+func (r Row) Key() string {
+	var b []byte
+	for _, v := range r {
+		b = appendValueKey(b, v)
+	}
+	return string(b)
+}
+
+// KeyOf returns the canonical encoding of the values at the given indexes,
+// the grouping/join-key analogue of Key.
+func (r Row) KeyOf(idxs []int) string {
+	var b []byte
+	for _, idx := range idxs {
+		b = appendValueKey(b, r[idx])
+	}
+	return string(b)
+}
+
+func appendValueKey(b []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 0)
+	case KindBool:
+		b = append(b, 1)
+		return append(b, byte(v.i))
+	case KindInt64, KindFloat64:
+		// Shared tag for numerics so 1 == 1.0 as keys.
+		b = append(b, 2)
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(v.AsFloat()))
+	case KindString:
+		b = append(b, 3)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(v.s)))
+		return append(b, v.s...)
+	case KindTimestamp:
+		b = append(b, 4)
+		return binary.BigEndian.AppendUint64(b, uint64(v.i))
+	case KindInterval:
+		b = append(b, 5)
+		return binary.BigEndian.AppendUint64(b, uint64(v.i))
+	default:
+		return append(b, 0xFF)
+	}
+}
+
+// String renders the row as a parenthesised value list.
+func (r Row) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name is the column's (case-insensitive) name.
+	Name string
+	// Kind is the column's SQL type.
+	Kind Kind
+	// EventTime marks the column as a watermarked event time column
+	// (Extension 1 in the paper): the relation's watermark is a lower
+	// bound on values that may still be inserted into this column.
+	EventTime bool
+	// WmOffset adjusts the completeness condition for the column: a value
+	// v in this column is complete once watermark >= v + WmOffset. It is
+	// zero for ordinary event-time columns; the Tumble/Hop wstart column
+	// uses the window duration so that grouping by wstart reaches
+	// completeness at the same moment as grouping by wend, exactly as
+	// Section 6.4.1 describes ("assuming ideal watermark propagation, the
+	// groupings reach completeness at the same time").
+	WmOffset Duration
+	// Windowed marks wstart/wend columns produced by a windowing TVF
+	// (and their verbatim copies downstream). The stream rendering's
+	// version numbers and the EMIT operators group output rows by these
+	// columns — the paper's "revisions of the same event-time window".
+	Windowed bool
+}
+
+// Schema is an ordered list of columns describing a relation's shape.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from the given columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// IndexOf returns the index of the column with the given name
+// (case-insensitive), or -1 if absent.
+func (s *Schema) IndexOf(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// EventTimeCols returns the indexes of all event-time columns.
+func (s *Schema) EventTimeCols() []int {
+	var out []int
+	for i, c := range s.Cols {
+		if c.EventTime {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EmitKeyCols returns the columns that identify an output row's event-time
+// grouping for materialization control: the windowed event-time columns
+// when present (a row's window), otherwise all event-time columns.
+func (s *Schema) EmitKeyCols() []int {
+	var windowed, event []int
+	for i, c := range s.Cols {
+		if !c.EventTime {
+			continue
+		}
+		event = append(event, i)
+		if c.Windowed {
+			windowed = append(windowed, i)
+		}
+	}
+	if len(windowed) > 0 {
+		return windowed
+	}
+	return event
+}
+
+// HasEventTime reports whether any column is a watermarked event-time column.
+func (s *Schema) HasEventTime() bool {
+	for _, c := range s.Cols {
+		if c.EventTime {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Cols))
+	copy(cols, s.Cols)
+	return &Schema{Cols: cols}
+}
+
+// Concat returns a schema with o's columns appended after s's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(o.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, o.Cols...)
+	return &Schema{Cols: cols}
+}
+
+// WithoutEventTime returns a copy of the schema with every EventTime flag
+// cleared; used when an operator cannot preserve watermark alignment.
+func (s *Schema) WithoutEventTime() *Schema {
+	out := s.Clone()
+	for i := range out.Cols {
+		out.Cols[i].EventTime = false
+	}
+	return out
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(name TYPE[*], ...)" with * marking
+// event-time columns.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Kind.String())
+		if c.EventTime {
+			sb.WriteByte('*')
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

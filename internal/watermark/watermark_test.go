@@ -1,0 +1,122 @@
+package watermark
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestTrackerMonotonic(t *testing.T) {
+	var tr Tracker
+	if tr.Current() != types.MinTime {
+		t.Fatal("initial watermark should be -inf")
+	}
+	if !tr.Advance(types.ClockTime(8, 5)) {
+		t.Fatal("first advance should succeed")
+	}
+	if tr.Advance(types.ClockTime(8, 4)) {
+		t.Fatal("regression should be ignored")
+	}
+	if tr.Current() != types.ClockTime(8, 5) {
+		t.Fatalf("current = %v", tr.Current())
+	}
+	if !tr.Advance(types.ClockTime(8, 8)) {
+		t.Fatal("forward advance should succeed")
+	}
+}
+
+func TestQuickTrackerNeverRegresses(t *testing.T) {
+	f := func(vals []int64) bool {
+		var tr Tracker
+		prev := tr.Current()
+		for _, v := range vals {
+			tr.Advance(types.Time(v % 1000000))
+			if tr.Current() < prev {
+				return false
+			}
+			prev = tr.Current()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMergerHoldsBack(t *testing.T) {
+	m := NewMinMerger(2)
+	// Only one input has advanced: output stays at MinTime.
+	if wm, adv := m.Advance(0, types.ClockTime(9, 0)); adv || wm != types.MinTime {
+		t.Fatalf("premature advance: %v %v", wm, adv)
+	}
+	// Second input advances to 8:30: output = min = 8:30.
+	wm, adv := m.Advance(1, types.ClockTime(8, 30))
+	if !adv || wm != types.ClockTime(8, 30) {
+		t.Fatalf("merged = %v adv=%v", wm, adv)
+	}
+	// Slow input catches up: output follows the new minimum.
+	wm, adv = m.Advance(1, types.ClockTime(8, 45))
+	if !adv || wm != types.ClockTime(8, 45) {
+		t.Fatalf("merged = %v adv=%v", wm, adv)
+	}
+	// Fast input regresses (ignored) — min unchanged.
+	wm, adv = m.Advance(0, types.ClockTime(8, 0))
+	if adv || wm != types.ClockTime(8, 45) {
+		t.Fatalf("after regression: %v adv=%v", wm, adv)
+	}
+	if m.Current() != types.ClockTime(8, 45) {
+		t.Fatalf("Current = %v", m.Current())
+	}
+}
+
+func TestQuickMinMergerIsMin(t *testing.T) {
+	f := func(a, b []int64) bool {
+		m := NewMinMerger(2)
+		maxA, maxB := types.MinTime, types.MinTime
+		for i := 0; i < len(a) || i < len(b); i++ {
+			if i < len(a) {
+				v := types.Time(a[i] % 100000)
+				m.Advance(0, v)
+				if v > maxA {
+					maxA = v
+				}
+			}
+			if i < len(b) {
+				v := types.Time(b[i] % 100000)
+				m.Advance(1, v)
+				if v > maxB {
+					maxB = v
+				}
+			}
+		}
+		want := maxA
+		if maxB < want {
+			want = maxB
+		}
+		if want == types.MinTime {
+			return m.Current() == types.MinTime
+		}
+		return m.Current() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedOutOfOrderness(t *testing.T) {
+	g := NewBoundedOutOfOrderness(2 * types.Minute)
+	if g.Current() != types.MinTime {
+		t.Fatal("initial should be -inf")
+	}
+	if wm := g.Observe(types.ClockTime(8, 10)); wm != types.ClockTime(8, 8) {
+		t.Fatalf("wm = %v", wm)
+	}
+	// Late event does not move the watermark backwards.
+	if wm := g.Observe(types.ClockTime(8, 5)); wm != types.ClockTime(8, 8) {
+		t.Fatalf("wm after late event = %v", wm)
+	}
+	if wm := g.Observe(types.ClockTime(8, 20)); wm != types.ClockTime(8, 18) {
+		t.Fatalf("wm = %v", wm)
+	}
+}

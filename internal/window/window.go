@@ -1,0 +1,128 @@
+// Package window implements event-time window assignment: the pure logic
+// behind the paper's Tumble and Hop table-valued functions (Extension 3) and
+// the Session windows it lists as future work. The execution engine wraps
+// these assignments in TVF operators; the CQL baseline reuses them for its
+// RANGE/SLIDE windows.
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Interval is one event-time window [Start, End).
+type Interval struct {
+	Start types.Time
+	End   types.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Interval) Contains(t types.Time) bool { return t >= w.Start && t < w.End }
+
+// String renders the window as "[start, end)".
+func (w Interval) String() string { return fmt.Sprintf("[%s, %s)", w.Start, w.End) }
+
+// Tumble assigns t to its unique tumbling window of width dur, with windows
+// anchored at offset past the epoch. Tumbling ("fixed") windows partition
+// event time into equally spaced disjoint covering intervals, so every
+// timestamp belongs to exactly one window.
+func Tumble(t types.Time, dur, offset types.Duration) Interval {
+	if dur <= 0 {
+		return Interval{}
+	}
+	d := int64(dur)
+	rel := int64(t) - int64(offset)
+	start := rel - mod(rel, d)
+	return Interval{
+		Start: types.Time(start + int64(offset)),
+		End:   types.Time(start + int64(offset) + d),
+	}
+}
+
+// Hop assigns t to every hopping window of width dur whose starts are spaced
+// hop apart (anchored at offset). With hop < dur windows overlap and a
+// timestamp belongs to ceil(dur/hop) windows; with hop > dur there are gaps
+// and a timestamp may belong to no window. Windows are returned in
+// increasing-start order.
+func Hop(t types.Time, dur, hop, offset types.Duration) []Interval {
+	if dur <= 0 || hop <= 0 {
+		return nil
+	}
+	var out []Interval
+	d, h := int64(dur), int64(hop)
+	rel := int64(t) - int64(offset)
+	// The last window that could contain t starts at the hop boundary at
+	// or before t; earlier candidates start back to t-dur (exclusive).
+	lastStart := rel - mod(rel, h)
+	for start := lastStart; start > rel-d; start -= h {
+		w := Interval{
+			Start: types.Time(start + int64(offset)),
+			End:   types.Time(start + int64(offset) + d),
+		}
+		out = append(out, w)
+	}
+	// Reverse into increasing-start order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// mod is Euclidean modulo: the result is always in [0, m) even for negative
+// values, so windows are aligned identically on both sides of the epoch.
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// MergeSessions computes session windows (periods of contiguous activity
+// separated by gaps of at least `gap`) from a set of event timestamps. Each
+// input timestamp initially forms the proto-session [t, t+gap); overlapping
+// or touching proto-sessions merge transitively. The result is the minimal
+// set of disjoint session intervals, in increasing order. Timestamps need
+// not be sorted.
+func MergeSessions(ts []types.Time, gap types.Duration) []Interval {
+	if len(ts) == 0 || gap <= 0 {
+		return nil
+	}
+	sorted := make([]types.Time, len(ts))
+	copy(sorted, ts)
+	insertionSort(sorted)
+	var out []Interval
+	cur := Interval{Start: sorted[0], End: sorted[0].Add(gap)}
+	for _, t := range sorted[1:] {
+		if t <= cur.End {
+			end := t.Add(gap)
+			if end > cur.End {
+				cur.End = end
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = Interval{Start: t, End: t.Add(gap)}
+	}
+	return append(out, cur)
+}
+
+// AssignSession returns the merged session interval containing t, given all
+// timestamps of the key (t must be among them).
+func AssignSession(t types.Time, all []types.Time, gap types.Duration) (Interval, bool) {
+	for _, w := range MergeSessions(all, gap) {
+		if w.Contains(t) {
+			return w, true
+		}
+	}
+	return Interval{}, false
+}
+
+func insertionSort(a []types.Time) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

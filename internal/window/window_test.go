@@ -1,0 +1,228 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestTumblePaperExample(t *testing.T) {
+	// Listing 5: bidtime 8:07 with 10-minute windows -> [8:00, 8:10).
+	cases := []struct {
+		t          types.Time
+		wantS, wantE types.Time
+	}{
+		{types.ClockTime(8, 7), types.ClockTime(8, 0), types.ClockTime(8, 10)},
+		{types.ClockTime(8, 11), types.ClockTime(8, 10), types.ClockTime(8, 20)},
+		{types.ClockTime(8, 5), types.ClockTime(8, 0), types.ClockTime(8, 10)},
+		{types.ClockTime(8, 0), types.ClockTime(8, 0), types.ClockTime(8, 10)},
+		{types.ClockTime(8, 10), types.ClockTime(8, 10), types.ClockTime(8, 20)},
+	}
+	for _, c := range cases {
+		w := Tumble(c.t, 10*types.Minute, 0)
+		if w.Start != c.wantS || w.End != c.wantE {
+			t.Errorf("Tumble(%v) = %v, want [%v,%v)", c.t, w, c.wantS, c.wantE)
+		}
+	}
+}
+
+func TestTumbleOffset(t *testing.T) {
+	// Offset shifts window boundaries.
+	w := Tumble(types.ClockTime(8, 7), 10*types.Minute, 3*types.Minute)
+	if w.Start != types.ClockTime(8, 3) || w.End != types.ClockTime(8, 13) {
+		t.Errorf("with offset: %v", w)
+	}
+	// Degenerate duration.
+	if w := Tumble(0, 0, 0); w != (Interval{}) {
+		t.Errorf("zero duration should be empty, got %v", w)
+	}
+}
+
+func TestTumbleNegativeTimes(t *testing.T) {
+	w := Tumble(types.Time(-1), 10*types.Minute, 0)
+	if w.Start != types.Time(-int64(10*types.Minute)) || w.End != 0 {
+		t.Errorf("negative tumble: %v", w)
+	}
+	if !w.Contains(types.Time(-1)) {
+		t.Error("window should contain its input")
+	}
+}
+
+func TestHopPaperExample(t *testing.T) {
+	// Listing 7: dur 10m, hop 5m. Bid at 8:07 -> [8:00,8:10) and [8:05,8:15).
+	ws := Hop(types.ClockTime(8, 7), 10*types.Minute, 5*types.Minute, 0)
+	if len(ws) != 2 {
+		t.Fatalf("len=%d (%v)", len(ws), ws)
+	}
+	if ws[0].Start != types.ClockTime(8, 0) || ws[1].Start != types.ClockTime(8, 5) {
+		t.Errorf("windows = %v", ws)
+	}
+	// Bid at 8:17 -> [8:10,8:20) and [8:15,8:25).
+	ws = Hop(types.ClockTime(8, 17), 10*types.Minute, 5*types.Minute, 0)
+	if len(ws) != 2 || ws[0].Start != types.ClockTime(8, 10) || ws[1].Start != types.ClockTime(8, 15) {
+		t.Errorf("8:17 windows = %v", ws)
+	}
+}
+
+func TestHopGaps(t *testing.T) {
+	// hop > dur leaves gaps: window [0,1m) then [5m,6m) etc.
+	if ws := Hop(types.ClockTime(0, 3), types.Minute, 5*types.Minute, 0); ws != nil {
+		t.Errorf("expected gap (no windows), got %v", ws)
+	}
+	ws := Hop(types.ClockTime(0, 5), types.Minute, 5*types.Minute, 0)
+	if len(ws) != 1 || ws[0].Start != types.ClockTime(0, 5) {
+		t.Errorf("ws = %v", ws)
+	}
+	if Hop(0, 0, types.Minute, 0) != nil || Hop(0, types.Minute, 0, 0) != nil {
+		t.Error("degenerate params should return nil")
+	}
+}
+
+func TestHopEqualsTumbleWhenHopEqualsDur(t *testing.T) {
+	f := func(tt int64) bool {
+		tm := types.Time(tt % int64(types.Day)) // may be negative; Tumble handles it
+		ws := Hop(tm, 10*types.Minute, 10*types.Minute, 0)
+		w := Tumble(tm, 10*types.Minute, 0)
+		return len(ws) == 1 && ws[0] == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestQuickTumbleInvariants(t *testing.T) {
+	f := func(tt, durM, offM int64) bool {
+		dur := types.Duration(abs64(durM)%120+1) * types.Minute
+		off := types.Duration(abs64(offM)%60) * types.Minute
+		tm := types.Time(tt % (2 * int64(types.Day)))
+		w := Tumble(tm, dur, off)
+		// Window contains its timestamp, has the right width, and is
+		// aligned to the offset grid.
+		if !w.Contains(tm) {
+			return false
+		}
+		if types.Duration(w.End-w.Start) != dur {
+			return false
+		}
+		return (int64(w.Start)-int64(off))%int64(dur) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHopInvariants(t *testing.T) {
+	f := func(tt, durM, hopM int64) bool {
+		dur := types.Duration(abs64(durM)%60+1) * types.Minute
+		hop := types.Duration(abs64(hopM)%20+1) * types.Minute
+		tm := types.Time(abs64(tt) % int64(types.Day))
+		ws := Hop(tm, dur, hop, 0)
+		// Every returned window contains t; count matches coverage math.
+		want := 0
+		for s := int64(tm) - int64(tm)%int64(hop); s > int64(tm)-int64(dur); s -= int64(hop) {
+			want++
+		}
+		if len(ws) != want {
+			return false
+		}
+		for i, w := range ws {
+			if !w.Contains(tm) || types.Duration(w.End-w.Start) != dur {
+				return false
+			}
+			if i > 0 && types.Duration(w.Start-ws[i-1].Start) != hop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSessions(t *testing.T) {
+	gap := 5 * types.Minute
+	ts := []types.Time{
+		types.ClockTime(8, 0),
+		types.ClockTime(8, 3), // merges with 8:00 (within 5m)
+		types.ClockTime(8, 20),
+	}
+	ws := MergeSessions(ts, gap)
+	if len(ws) != 2 {
+		t.Fatalf("sessions = %v", ws)
+	}
+	if ws[0].Start != types.ClockTime(8, 0) || ws[0].End != types.ClockTime(8, 8) {
+		t.Errorf("first session = %v", ws[0])
+	}
+	if ws[1].Start != types.ClockTime(8, 20) || ws[1].End != types.ClockTime(8, 25) {
+		t.Errorf("second session = %v", ws[1])
+	}
+	// Unsorted input gives the same result.
+	ws2 := MergeSessions([]types.Time{ts[2], ts[0], ts[1]}, gap)
+	if len(ws2) != 2 || ws2[0] != ws[0] || ws2[1] != ws[1] {
+		t.Errorf("unsorted sessions = %v", ws2)
+	}
+	if MergeSessions(nil, gap) != nil || MergeSessions(ts, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestAssignSession(t *testing.T) {
+	gap := 5 * types.Minute
+	all := []types.Time{types.ClockTime(8, 0), types.ClockTime(8, 3)}
+	w, ok := AssignSession(types.ClockTime(8, 3), all, gap)
+	if !ok || w.Start != types.ClockTime(8, 0) || w.End != types.ClockTime(8, 8) {
+		t.Errorf("AssignSession = %v ok=%v", w, ok)
+	}
+	if _, ok := AssignSession(types.ClockTime(9, 0), all, gap); ok {
+		t.Error("timestamp outside sessions should not be found")
+	}
+}
+
+func TestQuickSessionsDisjointAndCovering(t *testing.T) {
+	f := func(raw []int64, gapM int64) bool {
+		gap := types.Duration(abs64(gapM)%30+1) * types.Minute
+		ts := make([]types.Time, 0, len(raw))
+		for _, r := range raw {
+			ts = append(ts, types.Time(abs64(r)%int64(types.Day)))
+		}
+		ws := MergeSessions(ts, gap)
+		// Disjoint, ordered, separated by at least gap.
+		for i := 1; i < len(ws); i++ {
+			if ws[i].Start < ws[i-1].End {
+				return false
+			}
+		}
+		// Every timestamp covered by exactly one session.
+		for _, t := range ts {
+			n := 0
+			for _, w := range ws {
+				if w.Contains(t) {
+					n++
+				}
+			}
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	w := Interval{Start: types.ClockTime(8, 0), End: types.ClockTime(8, 10)}
+	if w.String() != "[8:00, 8:10)" {
+		t.Errorf("String = %q", w.String())
+	}
+}
