@@ -1,0 +1,33 @@
+# Build / verify entry points. `make verify` is the tier-1 gate plus the
+# race-checked suite and a short benchmark pass.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-full verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-mode benchmark harness: asserts serial/partitioned equivalence at
+# reduced scale and refreshes BENCH_nexmark.json quickly.
+bench:
+	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence' -short -v
+
+# Full-scale benchmark: regenerates BENCH_nexmark.json at 60k events and
+# enforces the >=1.5x partitioned speedup bar on machines with >=4 cores
+# (the bar never arms in the regular/race test suite).
+bench-full:
+	NEXMARK_BENCH_STRICT=1 $(GO) test ./internal/nexmark -run TestNexmarkBench -v -timeout 20m
+
+verify: vet build race bench

@@ -1,0 +1,135 @@
+// Command nexmark runs the NEXMark benchmark queries against the streaming
+// SQL engine from the terminal: generate a deterministic dataset, execute a
+// query on the serial or key-partitioned parallel executor (or both, with an
+// equivalence check), and print the result table, the routing scheme, and
+// throughput.
+//
+// Examples:
+//
+//	go run ./cmd/nexmark -query 7                 # Q7 on the serial engine
+//	go run ./cmd/nexmark -query 3 -parts 4        # Q3 partitioned 4 ways
+//	go run ./cmd/nexmark -query 5 -parts 4 -both  # serial vs parallel + diff
+//	go run ./cmd/nexmark -query 2 -explain        # plan + partitioning only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nexmark"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		queryID = flag.Int("query", 7, "NEXMark query number (0-8)")
+		events  = flag.Int("events", 5000, "number of generated input events")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		parts   = flag.Int("parts", 1, "partitions (>1 enables the parallel executor)")
+		both    = flag.Bool("both", false, "run serial AND partitioned, verify identical output")
+		explain = flag.Bool("explain", false, "print the optimized plan and partitioning, don't execute")
+		rows    = flag.Int("rows", 10, "result rows to print (0 = all)")
+	)
+	flag.Parse()
+
+	if err := run(*queryID, *events, *seed, *parts, *both, *explain, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "nexmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryID, events int, seed int64, parts int, both, explain bool, maxRows int) error {
+	q, err := nexmark.QueryByID(queryID)
+	if err != nil {
+		return err
+	}
+	g := nexmark.Generate(nexmark.GeneratorConfig{
+		Seed: seed, NumEvents: events, MaxOutOfOrderness: 2 * types.Second,
+	})
+	var opts []core.Option
+	if q.NeedsUnboundedGroupBy {
+		opts = append(opts, core.WithUnboundedGroupBy())
+	}
+	e, err := nexmark.NewEngine(g, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Q%d: %s  (%d persons, %d auctions, %d bids)\n",
+		q.ID, q.Name, g.NumPersons, g.NumAuctions, g.NumBids)
+
+	part, err := e.ExplainPartitioning(q.SQL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partitioning: %s\n", part)
+	if explain {
+		plan, err := e.Explain(q.SQL)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+
+	query := func(p int) (*core.TableResult, time.Duration, error) {
+		start := time.Now()
+		var res *core.TableResult
+		var err error
+		if p > 1 {
+			res, err = e.QueryTableParallel(q.SQL, types.MaxTime, p)
+		} else {
+			res, err = e.QueryTable(q.SQL, types.MaxTime)
+		}
+		return res, time.Since(start), err
+	}
+
+	if both {
+		if parts < 2 {
+			parts = 4
+		}
+		serial, sd, err := query(1)
+		if err != nil {
+			return err
+		}
+		parallel, pd, err := query(parts)
+		if err != nil {
+			return err
+		}
+		if s, p := serial.Format(), parallel.Format(); s != p {
+			return fmt.Errorf("serial and partitioned results DIFFER:\nserial:\n%s\npartitioned:\n%s", s, p)
+		}
+		fmt.Printf("serial:      %10.0f events/s (%s)\n", float64(events)/sd.Seconds(), sd.Round(time.Microsecond))
+		fmt.Printf("partitioned: %10.0f events/s (%s, %d chains)\n",
+			float64(events)/pd.Seconds(), pd.Round(time.Microsecond), parallel.Stats.Partitions)
+		fmt.Printf("results identical across both executors (%d rows)\n", len(serial.Rows))
+		printRows(serial, maxRows)
+		return nil
+	}
+
+	res, d, err := query(parts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed on %d chain(s) in %s (%.0f events/s); state rows %d, late dropped %d\n",
+		res.Stats.Partitions, d.Round(time.Microsecond), float64(events)/d.Seconds(),
+		res.Stats.StateRows, res.Stats.LateDropped)
+	printRows(res, maxRows)
+	return nil
+}
+
+func printRows(res *core.TableResult, maxRows int) {
+	rows := res.Rows
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	fmt.Print((&core.TableResult{Schema: res.Schema, Rows: rows}).Format())
+	if truncated > 0 {
+		fmt.Printf("... and %d more rows\n", truncated)
+	}
+}

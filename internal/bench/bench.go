@@ -1,0 +1,108 @@
+// Package bench is a small benchmark reporter: it collects per-query timing
+// records (serial vs. key-partitioned execution) and writes them as a JSON
+// perf record, seeding the repo's performance trajectory. The record captures
+// the execution environment (GOMAXPROCS, CPU count) because parallel speedup
+// is only meaningful relative to the hardware that produced it.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// QueryResult is one query's serial-vs-partitioned measurement.
+type QueryResult struct {
+	// ID is the NEXMark query number, or -1 for ad-hoc benchmark queries.
+	ID int `json:"id"`
+	// Name is the query's short description.
+	Name string `json:"name"`
+	// Partitioning describes the routing scheme ("hash(Bid:[0])",
+	// "round-robin", or "serial (<reason>)" for fallback queries).
+	Partitioning string `json:"partitioning"`
+	// Events is the number of input data events generated.
+	Events int `json:"events"`
+	// OutputEvents is the size of the output changelog.
+	OutputEvents int `json:"output_events"`
+	// Partitions is the parallelism the partitioned run actually used
+	// (1 means it fell back to the serial pipeline).
+	Partitions int `json:"partitions"`
+	// SerialNs / ParallelNs are wall-clock medians in nanoseconds.
+	SerialNs   int64 `json:"serial_ns"`
+	ParallelNs int64 `json:"parallel_ns"`
+	// Throughput in input events per second, derived from the medians.
+	SerialEventsPerSec   float64 `json:"serial_events_per_sec"`
+	ParallelEventsPerSec float64 `json:"parallel_events_per_sec"`
+	// Speedup is SerialNs / ParallelNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// Record is a full benchmark run.
+type Record struct {
+	Benchmark  string        `json:"benchmark"`
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	ShortMode  bool          `json:"short_mode"`
+	Queries    []QueryResult `json:"queries"`
+}
+
+// New creates a record stamped with the current environment.
+func New(name string, short bool) *Record {
+	return &Record{
+		Benchmark:  name,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		ShortMode:  short,
+	}
+}
+
+// Add derives the throughput/speedup fields and appends the result.
+func (r *Record) Add(q QueryResult) {
+	if q.SerialNs > 0 {
+		q.SerialEventsPerSec = float64(q.Events) / (float64(q.SerialNs) / 1e9)
+	}
+	if q.ParallelNs > 0 {
+		q.ParallelEventsPerSec = float64(q.Events) / (float64(q.ParallelNs) / 1e9)
+		q.Speedup = float64(q.SerialNs) / float64(q.ParallelNs)
+	}
+	r.Queries = append(r.Queries, q)
+}
+
+// WriteFile writes the record as indented JSON.
+func (r *Record) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// MedianNs times fn over runs executions and returns the median wall-clock
+// nanoseconds. The median (rather than the minimum or mean) keeps one-off
+// scheduler hiccups from dominating small benchmark runs.
+func MedianNs(runs int, fn func() error) (int64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	times := make([]int64, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -252,6 +253,51 @@ func (e *Engine) QueryStreamAt(sql string, at types.Time) (*StreamResult, error)
 	return &StreamResult{Schema: res.Schema, Rows: res.StreamRows(), Stats: stats}, nil
 }
 
+// QueryTableParallel is QueryTable executed on a key-partitioned parallel
+// pipeline with the given number of partitions. Results are byte-identical
+// to the serial rendering; plans with no valid hash partitioning fall back
+// to serial execution (Stats.Partitions reports which path ran).
+func (e *Engine) QueryTableParallel(sql string, at types.Time, parts int) (*TableResult, error) {
+	res, stats, err := e.runWith(sql, at, parts)
+	if err != nil {
+		return nil, err
+	}
+	return &TableResult{Schema: res.Schema, Rows: res.TableRows(), Stats: stats}, nil
+}
+
+// QueryStreamParallel is QueryStream on the partitioned pipeline.
+func (e *Engine) QueryStreamParallel(sql string, parts int) (*StreamResult, error) {
+	res, stats, err := e.runWith(sql, types.MaxTime, parts)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResult{Schema: res.Schema, Rows: res.StreamRows(), Stats: stats}, nil
+}
+
+// QueryStreamAtParallel is QueryStreamAt on the partitioned pipeline.
+func (e *Engine) QueryStreamAtParallel(sql string, at types.Time, parts int) (*StreamResult, error) {
+	res, stats, err := e.runWith(sql, at, parts)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResult{Schema: res.Schema, Rows: res.StreamRows(), Stats: stats}, nil
+}
+
+// ExplainPartitioning reports how the query would be routed across
+// partitions: the per-scan hash columns, "round-robin" for stateless plans,
+// or "serial (<reason>)" when the plan cannot be partitioned.
+func (e *Engine) ExplainPartitioning(sql string) (string, error) {
+	pq, err := e.plan(sql)
+	if err != nil {
+		return "", err
+	}
+	part, err := plan.DerivePartitioning(pq)
+	if err != nil {
+		return fmt.Sprintf("serial (%v)", err), nil
+	}
+	return part.Describe(), nil
+}
+
 // Explain returns the optimized logical plan of the query.
 func (e *Engine) Explain(sql string) (string, error) {
 	pq, err := e.plan(sql)
@@ -274,15 +320,37 @@ func (e *Engine) plan(sql string) (*plan.PlannedQuery, error) {
 }
 
 func (e *Engine) run(sql string, at types.Time) (*exec.Result, exec.Stats, error) {
+	return e.runWith(sql, at, 1)
+}
+
+// runWith plans the query and executes it on the partitioned pipeline when
+// parts > 1 and the plan admits a hash partitioning, merging the
+// per-partition outputs deterministically; otherwise it runs the serial
+// pipeline. Both paths produce byte-identical results.
+func (e *Engine) runWith(sql string, at types.Time, parts int) (*exec.Result, exec.Stats, error) {
 	pq, err := e.plan(sql)
 	if err != nil {
 		return nil, exec.Stats{}, err
 	}
-	pipe, err := exec.Compile(pq)
+	sources, err := e.sources(pq.Root)
 	if err != nil {
 		return nil, exec.Stats{}, err
 	}
-	sources, err := e.sources(pq.Root)
+	if parts > 1 {
+		pp, perr := exec.CompilePartitioned(pq, parts)
+		switch {
+		case perr == nil:
+			res, err := pp.Run(sources, at)
+			if err != nil {
+				return nil, exec.Stats{}, err
+			}
+			return res, pp.Stats(), nil
+		case !errors.Is(perr, exec.ErrNotPartitionable):
+			return nil, exec.Stats{}, perr
+		}
+		// Not partitionable: fall through to the serial pipeline.
+	}
+	pipe, err := exec.Compile(pq)
 	if err != nil {
 		return nil, exec.Stats{}, err
 	}

@@ -56,6 +56,9 @@ type Stats struct {
 	FreedGroups int
 	// OutputEvents counts data events emitted by the pipeline root.
 	OutputEvents int
+	// Partitions is the number of parallel operator chains the query ran
+	// on (1 for the serial pipeline).
+	Partitions int
 }
 
 // Pipeline is a compiled, runnable query.
@@ -63,8 +66,16 @@ type Pipeline struct {
 	collector *Collector
 	scans     map[string][]*scanOp // lower-cased source name -> scan operators
 	scanOrder []string             // deterministic source ordering
+	scanBind  []scanBinding        // scan operator -> plan node, in build order
 	allOps    []sink               // in build (parent-before-child) order
 	opened    bool
+}
+
+// scanBinding ties a compiled scan operator back to its plan node, so the
+// partitioned driver can look up per-scan routing keys.
+type scanBinding struct {
+	node *plan.Scan
+	op   *scanOp
 }
 
 // Source provides the recorded changelog of one named relation.
@@ -73,24 +84,34 @@ type Source struct {
 	Log  tvr.Changelog
 }
 
-// Compile builds a pipeline for the planned query.
-func Compile(pq *plan.PlannedQuery) (*Pipeline, error) {
-	p := &Pipeline{scans: make(map[string][]*scanOp)}
-	p.collector = newCollector(pq)
-	p.allOps = append(p.allOps, p.collector)
-
-	var top sink = p.collector
-	// Materialization-control operators wrap the plan root.
+// buildTail constructs the materialization tail shared by the serial and
+// partitioned pipelines: the collector, wrapped by the query's EMIT
+// materialization-control operators. It returns the operators (collector
+// first) and the topmost sink the plan root should feed. Keeping this in one
+// place is what guarantees the two execution paths materialize identically.
+func buildTail(pq *plan.PlannedQuery) (collector *Collector, ops []sink, top sink) {
+	collector = newCollector(pq)
+	ops = append(ops, collector)
+	top = collector
 	switch {
 	case pq.Emit.AfterWatermark && pq.Emit.Delay == nil:
 		e := newEmitAfterWatermark(pq.Root.Schema(), top)
-		p.allOps = append(p.allOps, e)
+		ops = append(ops, e)
 		top = e
 	case pq.Emit.Delay != nil:
 		e := newEmitAfterDelay(pq.Root.Schema(), *pq.Emit.Delay, pq.Emit.AfterWatermark, top)
-		p.allOps = append(p.allOps, e)
+		ops = append(ops, e)
 		top = e
 	}
+	return collector, ops, top
+}
+
+// Compile builds a pipeline for the planned query.
+func Compile(pq *plan.PlannedQuery) (*Pipeline, error) {
+	p := &Pipeline{scans: make(map[string][]*scanOp)}
+	collector, tailOps, top := buildTail(pq)
+	p.collector = collector
+	p.allOps = append(p.allOps, tailOps...)
 	if err := p.build(pq.Root, top); err != nil {
 		return nil, err
 	}
@@ -122,6 +143,7 @@ func (p *Pipeline) build(n plan.Node, out sink) error {
 		s := &scanOp{out: out, asOf: x.AsOf, bounded: !x.Stream}
 		p.allOps = append(p.allOps, s)
 		p.addScan(x.Name, s)
+		p.scanBind = append(p.scanBind, scanBinding{node: x, op: s})
 		return nil
 	case *plan.Values:
 		v := &valuesOp{out: out, rows: x.Rows}
@@ -270,6 +292,7 @@ func (p *Pipeline) Stats() Stats {
 			s.stats(&st)
 		}
 	}
+	st.Partitions = 1
 	return st
 }
 
@@ -354,10 +377,18 @@ func newCollector(pq *plan.PlannedQuery) *Collector {
 }
 
 // Push implements sink.
-func (c *Collector) Push(ev tvr.Event) error {
+func (c *Collector) Push(ev tvr.Event) error { return c.PushKeyed(ev, "") }
+
+// PushKeyed is Push with the row's bag key precomputed by the caller. The
+// partitioned driver hashes rows in the worker goroutines, so the serial
+// merge stage can reuse that work instead of re-serializing every output row.
+func (c *Collector) PushKeyed(ev tvr.Event, key string) error {
 	switch ev.Kind {
 	case tvr.Insert, tvr.Delete:
-		if err := c.rel.Apply(ev); err != nil {
+		if key == "" {
+			key = ev.Row.Key()
+		}
+		if err := c.rel.ApplyKeyed(ev, key); err != nil {
 			return err
 		}
 		c.log = append(c.log, ev)

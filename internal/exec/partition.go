@@ -1,0 +1,447 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/tvr"
+	"repro/internal/types"
+	"repro/internal/watermark"
+)
+
+// This file implements key-partitioned parallel execution. The plan's
+// partitioning metadata (plan.DerivePartitioning) proves that rows which can
+// ever meet in operator state share a routing key, so the driver can run N
+// complete copies of the operator chain — one per partition — and fan data
+// events out by key hash while broadcasting watermarks and heartbeats.
+//
+// Determinism is preserved exactly, not approximately: every delivery (one
+// event pushed into one scan operator) gets a global sequence number in the
+// same order the serial driver would perform it, per-partition outputs are
+// tagged with the sequence number of the delivery that caused them, and the
+// merge stage reassembles the output stream in (sequence, emission) order.
+// Because a data delivery reaches exactly one partition and the per-key
+// operator state it touches lives wholly in that partition, the merged
+// stream is byte-identical to the serial pipeline's output. Per-partition
+// watermarks are min-merged (via watermark.MinMerger) before entering the
+// serial tail — the EMIT materialization operators and the collector — which
+// consumes the merged stream exactly as it would the serial one.
+
+// ErrNotPartitionable reports that a plan cannot run key-partitioned and the
+// caller should fall back to the serial pipeline. Compile errors wrap it so
+// callers can errors.Is-test.
+var ErrNotPartitionable = errors.New("exec: plan is not partitionable")
+
+// defaultRoundSize is the number of deliveries dispatched per parallel round.
+// Batching amortizes goroutine wake-ups and merge overhead; one round's
+// deliveries are routed, processed in parallel, then merged in order.
+const defaultRoundSize = 2048
+
+// PartitionedPipeline is a compiled query that executes as N key-partitioned
+// operator chains plus a serial merge/materialization tail.
+type PartitionedPipeline struct {
+	parts  int
+	round  int
+	scheme *plan.Partitioning
+
+	chains []*partChain
+
+	// Delivery-plan shared by all chains (identical build order).
+	scanOrder []string // lower-cased source names, serial cursor order
+	scanIdxOf map[string][]int
+	routes    [][]int // per scan index: columns to hash, nil = round-robin
+
+	// Serial tail: EMIT operators and the collector.
+	tailOps   []sink
+	tailTop   sink
+	collector *Collector
+	// directTail is set when the tail is the bare collector, enabling the
+	// precomputed-key fast path.
+	directTail bool
+
+	// Watermark/heartbeat merge state.
+	wmMerge   *watermark.MinMerger
+	wmPtime   types.Time // max ptime over the copies of the pending watermark
+	wmSeq     int
+	hasHB     bool
+	lastHB    types.Time
+	opened    bool
+}
+
+// partChain is one partition's copy of the operator chain.
+type partChain struct {
+	pipe    *Pipeline
+	tag     *tagSink
+	scanOps []*scanOp // flattened in delivery order (scanOrder x per-name)
+	err     error
+	inbox   []delivery
+}
+
+// delivery is one unit of driver work: push one event into one scan operator
+// (or finish it). seq is the global order the serial driver would use.
+type delivery struct {
+	seq    int
+	scan   int
+	ev     tvr.Event
+	finish bool
+}
+
+// taggedEvent is one output emission labelled with the delivery that caused
+// it; buffer order within a partition is the emission order.
+type taggedEvent struct {
+	seq int
+	ev  tvr.Event
+	key string // precomputed row key for data events (fast collector path)
+}
+
+// tagSink terminates a partition chain, recording outputs with cause tags.
+type tagSink struct {
+	seq     int
+	precomp bool
+	buf     []taggedEvent
+}
+
+func (t *tagSink) Push(ev tvr.Event) error {
+	te := taggedEvent{seq: t.seq, ev: ev}
+	if t.precomp && ev.IsData() {
+		te.key = ev.Row.Key()
+	}
+	t.buf = append(t.buf, te)
+	return nil
+}
+
+func (t *tagSink) Finish() error { return nil }
+
+// CompilePartitioned builds an N-way partitioned pipeline for the planned
+// query. It returns an error wrapping ErrNotPartitionable when the plan has
+// no valid hash partitioning (the caller should use Compile instead).
+func CompilePartitioned(pq *plan.PlannedQuery, parts int) (*PartitionedPipeline, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 partitions, got %d", ErrNotPartitionable, parts)
+	}
+	scheme, err := plan.DerivePartitioning(pq)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotPartitionable, err)
+	}
+	pp := &PartitionedPipeline{
+		parts:   parts,
+		round:   defaultRoundSize,
+		scheme:  scheme,
+		wmMerge: watermark.NewMinMerger(parts),
+		wmSeq:   -1,
+	}
+
+	// The serial tail is built by the same helper Compile uses, so both
+	// paths materialize identically by construction.
+	collector, tailOps, top := buildTail(pq)
+	pp.collector = collector
+	pp.tailOps = tailOps
+	pp.tailTop = top
+	pp.directTail = top == sink(pp.collector)
+
+	for i := 0; i < parts; i++ {
+		tag := &tagSink{precomp: pp.directTail}
+		pipe := &Pipeline{scans: make(map[string][]*scanOp)}
+		if err := pipe.build(pq.Root, tag); err != nil {
+			return nil, err
+		}
+		chain := &partChain{pipe: pipe, tag: tag}
+		for _, name := range pipe.scanOrder {
+			chain.scanOps = append(chain.scanOps, pipe.scans[name]...)
+		}
+		pp.chains = append(pp.chains, chain)
+	}
+
+	// The delivery plan comes from partition 0; all chains are built from
+	// the same plan tree in the same order, so indexes line up.
+	ref := pp.chains[0]
+	pp.scanOrder = ref.pipe.scanOrder
+	pp.scanIdxOf = make(map[string][]int)
+	idx := 0
+	for _, name := range ref.pipe.scanOrder {
+		for range ref.pipe.scans[name] {
+			pp.scanIdxOf[name] = append(pp.scanIdxOf[name], idx)
+			idx++
+		}
+	}
+	for _, op := range ref.scanOps {
+		var node *plan.Scan
+		for _, b := range ref.pipe.scanBind {
+			if b.op == op {
+				node = b.node
+				break
+			}
+		}
+		if node == nil {
+			return nil, fmt.Errorf("exec: internal: scan operator without plan binding")
+		}
+		pp.routes = append(pp.routes, scheme.ScanKeys[node])
+	}
+	return pp, nil
+}
+
+// route picks the partition for a data event entering the given scan.
+func (pp *PartitionedPipeline) route(d delivery) int {
+	cols := pp.routes[d.scan]
+	if cols == nil {
+		// Stateless plan: spread deliveries round-robin.
+		return d.seq % pp.parts
+	}
+	// Inline FNV-1a: the routing loop is serial and per-event, so avoid
+	// the hasher allocation and []byte copy of hash/fnv.
+	h := uint32(2166136261)
+	key := d.ev.Row.KeyOf(cols)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(pp.parts))
+}
+
+// Run feeds the sources through the partitioned pipeline; the contract is
+// identical to Pipeline.Run, including byte-identical output.
+func (pp *PartitionedPipeline) Run(sources []Source, upTo types.Time) (*Result, error) {
+	if pp.opened {
+		return nil, fmt.Errorf("exec: pipeline already ran")
+	}
+	pp.opened = true
+	// Open operators in every chain, parent-first. The partitioning
+	// analysis rejects plans with open-time emissions (constant relations,
+	// global aggregates), which would otherwise duplicate per partition;
+	// verify that held.
+	for _, c := range pp.chains {
+		for _, op := range c.pipe.allOps {
+			if o, ok := op.(opener); ok {
+				if err := o.Open(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(c.tag.buf) > 0 {
+			return nil, fmt.Errorf("exec: internal: partitioned plan emitted at open time")
+		}
+	}
+
+	bySource := make(map[string]tvr.Changelog, len(sources))
+	for _, s := range sources {
+		bySource[lowered(s.Name)] = s.Log
+	}
+	type cursor struct {
+		name string
+		log  tvr.Changelog
+		pos  int
+	}
+	var cursors []*cursor
+	for _, name := range pp.scanOrder {
+		log, ok := bySource[name]
+		if !ok {
+			return nil, fmt.Errorf("exec: no source data for relation %q", name)
+		}
+		cursors = append(cursors, &cursor{name: name, log: log})
+	}
+
+	seq := 0
+	pending := 0
+	enqueue := func(d delivery) {
+		if d.ev.IsData() && !d.finish {
+			p := pp.route(d)
+			pp.chains[p].inbox = append(pp.chains[p].inbox, d)
+		} else {
+			// Watermarks, heartbeats, and finishes broadcast: every
+			// partition must observe time progress and end-of-input.
+			for _, c := range pp.chains {
+				c.inbox = append(c.inbox, d)
+			}
+		}
+		pending++
+	}
+
+	// Same k-way merge by ptime as the serial driver (ties broken by
+	// source registration order), batched into parallel rounds.
+	for {
+		best := -1
+		for i, c := range cursors {
+			for c.pos < len(c.log) && c.log[c.pos].Ptime > upTo {
+				c.pos = len(c.log) // discard tail beyond the horizon
+			}
+			if c.pos >= len(c.log) {
+				continue
+			}
+			if best < 0 || c.log[c.pos].Ptime < cursors[best].log[cursors[best].pos].Ptime {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cursors[best]
+		ev := c.log[c.pos]
+		c.pos++
+		for _, si := range pp.scanIdxOf[c.name] {
+			enqueue(delivery{seq: seq, scan: si, ev: ev})
+			seq++
+		}
+		if pending >= pp.round {
+			if err := pp.flush(); err != nil {
+				return nil, err
+			}
+			pending = 0
+		}
+	}
+
+	// Advance the processing-time clock to the query horizon, then finish
+	// every scan — mirroring the serial driver's epilogue.
+	if upTo != types.MaxTime {
+		hb := tvr.HeartbeatEvent(upTo)
+		for _, name := range pp.scanOrder {
+			for _, si := range pp.scanIdxOf[name] {
+				enqueue(delivery{seq: seq, scan: si, ev: hb})
+				seq++
+			}
+		}
+	}
+	for _, name := range pp.scanOrder {
+		for _, si := range pp.scanIdxOf[name] {
+			enqueue(delivery{seq: seq, scan: si, finish: true})
+			seq++
+		}
+	}
+	if err := pp.flush(); err != nil {
+		return nil, err
+	}
+	if err := pp.tailTop.Finish(); err != nil {
+		return nil, err
+	}
+	return pp.collector.result()
+}
+
+// flush runs one parallel round: each partition worker drains its inbox
+// through its operator chain, then the tagged outputs are merged in delivery
+// order into the serial tail.
+func (pp *PartitionedPipeline) flush() error {
+	var wg sync.WaitGroup
+	for _, c := range pp.chains {
+		if len(c.inbox) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c *partChain) {
+			defer wg.Done()
+			c.err = c.drain()
+		}(c)
+	}
+	wg.Wait()
+	for _, c := range pp.chains {
+		if c.err != nil {
+			return c.err
+		}
+	}
+
+	// K-way merge of the per-partition output buffers by (seq, partition).
+	// Buffers are already seq-ordered: workers process deliveries in seq
+	// order and tag outputs as they emit.
+	idx := make([]int, pp.parts)
+	for {
+		best := -1
+		for p, c := range pp.chains {
+			i := idx[p]
+			if i >= len(c.tag.buf) {
+				continue
+			}
+			if best < 0 || c.tag.buf[i].seq < pp.chains[best].tag.buf[idx[best]].seq {
+				best = p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		te := pp.chains[best].tag.buf[idx[best]]
+		idx[best]++
+		if err := pp.emit(te, best); err != nil {
+			return err
+		}
+	}
+	for _, c := range pp.chains {
+		c.inbox = c.inbox[:0]
+		c.tag.buf = c.tag.buf[:0]
+	}
+	return nil
+}
+
+// drain pushes a partition's inbox through its chain.
+func (c *partChain) drain() error {
+	for _, d := range c.inbox {
+		c.tag.seq = d.seq
+		s := c.scanOps[d.scan]
+		if d.finish {
+			if err := s.Finish(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.Push(d.ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit forwards one merged output into the serial tail. Data events pass
+// through directly (their cause delivery ran in exactly one partition, so
+// merge order equals serial order). Control events arrive once per partition
+// and are deduplicated: watermarks min-merge across partitions, heartbeats
+// forward once per processing time.
+func (pp *PartitionedPipeline) emit(te taggedEvent, part int) error {
+	switch te.ev.Kind {
+	case tvr.Watermark:
+		// Copies of one logical watermark share the cause seq but may
+		// carry different ptimes (a bounded scan's final watermark is
+		// stamped with the partition's last seen ptime); the serial
+		// equivalent is the max over partitions.
+		if te.seq != pp.wmSeq {
+			pp.wmSeq = te.seq
+			pp.wmPtime = te.ev.Ptime
+		} else if te.ev.Ptime > pp.wmPtime {
+			pp.wmPtime = te.ev.Ptime
+		}
+		if wm, adv := pp.wmMerge.Advance(part, te.ev.Wm); adv {
+			return pp.tailTop.Push(tvr.WatermarkEvent(pp.wmPtime, wm))
+		}
+		return nil
+	case tvr.Heartbeat:
+		if !pp.hasHB || te.ev.Ptime > pp.lastHB {
+			pp.hasHB = true
+			pp.lastHB = te.ev.Ptime
+			return pp.tailTop.Push(te.ev)
+		}
+		return nil
+	default:
+		if pp.directTail {
+			return pp.collector.PushKeyed(te.ev, te.key)
+		}
+		return pp.tailTop.Push(te.ev)
+	}
+}
+
+// Stats sums operator statistics across every partition chain and the tail.
+func (pp *PartitionedPipeline) Stats() Stats {
+	var st Stats
+	for _, c := range pp.chains {
+		for _, op := range c.pipe.allOps {
+			if s, ok := op.(statser); ok {
+				s.stats(&st)
+			}
+		}
+	}
+	for _, op := range pp.tailOps {
+		if s, ok := op.(statser); ok {
+			s.stats(&st)
+		}
+	}
+	st.Partitions = pp.parts
+	return st
+}
+
+// Partitioning exposes the routing scheme (for EXPLAIN-style output).
+func (pp *PartitionedPipeline) Partitioning() *plan.Partitioning { return pp.scheme }

@@ -1,0 +1,240 @@
+package exec_test
+
+// Tests for the key-partitioned parallel driver: byte-identical equivalence
+// with serial execution (run under -race to exercise the fan-out), fallback
+// classification, and round-robin routing of stateless plans.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// genLog builds a deterministic changelog over nKeys keys with interleaved
+// watermarks and a sprinkling of retractions.
+func genLog(n, nKeys int) tvr.Changelog {
+	var log tvr.Changelog
+	state := int64(12345)
+	next := func(mod int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := (state >> 33) % mod
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	var live []types.Row
+	for i := 0; i < n; i++ {
+		pt := types.Time(int64(i) + 1)
+		et := types.Time(int64(i/10) * 10)
+		if len(live) > 4 && next(10) == 0 {
+			// Retract a previously inserted row (and forget it, so it is
+			// never retracted twice).
+			vi := next(int64(len(live)))
+			victim := live[vi]
+			live = append(live[:vi], live[vi+1:]...)
+			log = append(log, tvr.DeleteEvent(pt, victim))
+			continue
+		}
+		r := row(next(int64(nKeys)), next(1000), et)
+		live = append(live, r)
+		log = append(log, tvr.InsertEvent(pt, r))
+		if i%97 == 96 {
+			log = append(log, tvr.WatermarkEvent(pt, et-20))
+		}
+	}
+	return log
+}
+
+// assertSameResult asserts the two results are byte-identical in every
+// rendering: the raw output changelog, the table rows, and the decorated
+// stream rows.
+func assertSameResult(t *testing.T, serial, parallel *exec.Result) {
+	t.Helper()
+	if len(serial.Log) != len(parallel.Log) {
+		t.Fatalf("log length: serial %d vs parallel %d", len(serial.Log), len(parallel.Log))
+	}
+	for i := range serial.Log {
+		if serial.Log[i].String() != parallel.Log[i].String() {
+			t.Fatalf("log event %d: serial %s vs parallel %s", i, serial.Log[i], parallel.Log[i])
+		}
+	}
+	sRows, pRows := serial.TableRows(), parallel.TableRows()
+	if len(sRows) != len(pRows) {
+		t.Fatalf("table rows: serial %d vs parallel %d", len(sRows), len(pRows))
+	}
+	for i := range sRows {
+		if !sRows[i].Equal(pRows[i]) {
+			t.Fatalf("table row %d: serial %s vs parallel %s", i, sRows[i], pRows[i])
+		}
+	}
+	sStream, pStream := serial.StreamRows(), parallel.StreamRows()
+	if len(sStream) != len(pStream) {
+		t.Fatalf("stream rows: serial %d vs parallel %d", len(sStream), len(pStream))
+	}
+	for i := range sStream {
+		a, b := sStream[i], pStream[i]
+		if !a.Row.Equal(b.Row) || a.Undo != b.Undo || a.Ptime != b.Ptime || a.Ver != b.Ver {
+			t.Fatalf("stream row %d differs", i)
+		}
+	}
+}
+
+// runBoth executes the same planned query serially and partitioned. Plans
+// are rebuilt per run via mk because pipelines are single-use and share no
+// state.
+func runBoth(t *testing.T, mk func() *plan.PlannedQuery, sources []exec.Source, parts int, upTo types.Time) (*exec.Result, *exec.Result) {
+	t.Helper()
+	serialPipe, err := exec.Compile(mk())
+	if err != nil {
+		t.Fatalf("compile serial: %v", err)
+	}
+	serial, err := serialPipe.Run(sources, upTo)
+	if err != nil {
+		t.Fatalf("run serial: %v", err)
+	}
+	pp, err := exec.CompilePartitioned(mk(), parts)
+	if err != nil {
+		t.Fatalf("compile partitioned: %v", err)
+	}
+	parallel, err := pp.Run(sources, upTo)
+	if err != nil {
+		t.Fatalf("run partitioned: %v", err)
+	}
+	if st := pp.Stats(); st.Partitions != parts {
+		t.Fatalf("Stats.Partitions = %d, want %d", st.Partitions, parts)
+	}
+	return serial, parallel
+}
+
+// TestPartitionedAggregateEquivalence: grouped aggregation partitioned on
+// the group key produces a byte-identical changelog, table, and stream.
+func TestPartitionedAggregateEquivalence(t *testing.T) {
+	mk := func() *plan.PlannedQuery {
+		return &plan.PlannedQuery{Root: &plan.Aggregate{
+			Input: scanNode(),
+			Keys:  []plan.Scalar{col(0, types.KindInt64)},
+			Aggs: []plan.AggCall{
+				{Kind: plan.AggSum, Arg: col(1, types.KindInt64), K: types.KindInt64},
+				{Kind: plan.AggCountStar, K: types.KindInt64},
+				{Kind: plan.AggMax, Arg: col(1, types.KindInt64), K: types.KindInt64},
+			},
+			Sch: types.NewSchema(
+				types.Column{Name: "key", Kind: types.KindInt64},
+				types.Column{Name: "sum", Kind: types.KindInt64},
+				types.Column{Name: "n", Kind: types.KindInt64},
+				types.Column{Name: "max", Kind: types.KindInt64},
+			),
+		}}
+	}
+	sources := []exec.Source{{Name: "s", Log: genLog(3000, 37)}}
+	for _, parts := range []int{2, 4, 7} {
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			serial, parallel := runBoth(t, mk, sources, parts, types.MaxTime)
+			assertSameResult(t, serial, parallel)
+		})
+	}
+}
+
+// TestPartitionedJoinEquivalence: a co-partitioned equi join matches the
+// serial pipeline byte for byte, including null-padded outer rows.
+func TestPartitionedJoinEquivalence(t *testing.T) {
+	for _, kind := range []sqlparser.JoinKind{sqlparser.InnerJoin, sqlparser.LeftJoin} {
+		t.Run(kind.String(), func(t *testing.T) {
+			mk := func() *plan.PlannedQuery { return twoSourceJoin(kind) }
+			rLog := tvr.Changelog{}
+			for i := 0; i < 500; i++ {
+				rLog = append(rLog, tvr.InsertEvent(types.Time(2*i+1), tagRow(int64(i%23), fmt.Sprintf("t%d", i%5))))
+			}
+			sources := []exec.Source{
+				{Name: "s", Log: genLog(2000, 23)},
+				{Name: "r", Log: rLog},
+			}
+			serial, parallel := runBoth(t, mk, sources, 4, types.MaxTime)
+			assertSameResult(t, serial, parallel)
+		})
+	}
+}
+
+// TestPartitionedStatelessRoundRobin: plans with no stateful operator route
+// round-robin and still reproduce the serial output exactly.
+func TestPartitionedStatelessRoundRobin(t *testing.T) {
+	mk := func() *plan.PlannedQuery {
+		return &plan.PlannedQuery{Root: &plan.Filter{
+			Input: scanNode(),
+			Cond:  &plan.BinOp{Op: sqlparser.OpGt, L: col(1, types.KindInt64), R: intConst(500), K: types.KindBool},
+		}}
+	}
+	sources := []exec.Source{{Name: "s", Log: genLog(2000, 11)}}
+	serial, parallel := runBoth(t, mk, sources, 4, types.MaxTime)
+	assertSameResult(t, serial, parallel)
+
+	pp, err := exec.CompilePartitioned(mk(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pp.Partitioning().Describe(); got != "round-robin" {
+		t.Errorf("Describe() = %q, want round-robin", got)
+	}
+}
+
+// TestPartitionedEmitAfterWatermark: the EMIT materialization operators run
+// in the serial tail over the merged stream, so watermark-delayed output is
+// byte-identical too.
+func TestPartitionedEmitAfterWatermark(t *testing.T) {
+	mk := func() *plan.PlannedQuery {
+		a := eventTimeAgg()
+		return &plan.PlannedQuery{Root: a, EmitKeyIdxs: []int{0}, Emit: plan.EmitSpec{AfterWatermark: true}}
+	}
+	sources := []exec.Source{{Name: "s", Log: genLog(2000, 13)}}
+	serial, parallel := runBoth(t, mk, sources, 4, types.MaxTime)
+	assertSameResult(t, serial, parallel)
+}
+
+// TestPartitionedHorizonAndLateData: truncating at a processing-time horizon
+// (the table-at-time rendering) behaves identically, late drops included.
+func TestPartitionedHorizonAndLateData(t *testing.T) {
+	mk := func() *plan.PlannedQuery {
+		return &plan.PlannedQuery{Root: eventTimeAgg(), EmitKeyIdxs: []int{0}}
+	}
+	sources := []exec.Source{{Name: "s", Log: genLog(2000, 13)}}
+	serial, parallel := runBoth(t, mk, sources, 4, types.Time(900))
+	assertSameResult(t, serial, parallel)
+}
+
+// TestPartitionedFallbackClassification: plans without a valid hash
+// partitioning are rejected with ErrNotPartitionable so callers fall back.
+func TestPartitionedFallbackClassification(t *testing.T) {
+	cases := map[string]*plan.PlannedQuery{
+		"global aggregate": {Root: &plan.Aggregate{
+			Input: scanNode(),
+			Aggs:  []plan.AggCall{{Kind: plan.AggCountStar, K: types.KindInt64}},
+			Sch:   types.NewSchema(types.Column{Name: "n", Kind: types.KindInt64}),
+		}},
+		"constant relation": {Root: &plan.Values{
+			Rows: []types.Row{{types.NewInt(1)}},
+			Sch:  types.NewSchema(types.Column{Name: "x", Kind: types.KindInt64}),
+		}},
+		"cross join": {Root: &plan.Join{
+			Left:  scanNode(),
+			Right: &plan.Scan{Name: "r", Sch: bidSchema(), Stream: true},
+			Kind:  sqlparser.CrossJoin,
+			Sch:   bidSchema().WithoutEventTime().Concat(bidSchema().WithoutEventTime()),
+		}},
+	}
+	for name, pq := range cases {
+		if _, err := exec.CompilePartitioned(pq, 4); !errors.Is(err, exec.ErrNotPartitionable) {
+			t.Errorf("%s: error = %v, want ErrNotPartitionable", name, err)
+		}
+	}
+	// A single partition is not a parallel plan either.
+	if _, err := exec.CompilePartitioned(&plan.PlannedQuery{Root: scanNode()}, 1); !errors.Is(err, exec.ErrNotPartitionable) {
+		t.Errorf("parts=1: error = %v, want ErrNotPartitionable", err)
+	}
+}

@@ -1,0 +1,217 @@
+package nexmark
+
+// The NEXMark benchmark harness: runs the paper's queries at configurable
+// scale on both the serial and the key-partitioned parallel executor,
+// asserts the two produce byte-identical results, and emits a
+// BENCH_nexmark.json perf record (serial vs. partitioned throughput) at the
+// repository root to seed the repo's performance trajectory.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// benchParts is the partition count the acceptance speedup is defined at.
+const benchParts = 4
+
+// aggBenchSQL is the harness's dedicated aggregation benchmark: a windowed
+// per-auction rollup that hash-partitions on the auction key and carries
+// enough accumulator work (including an order-statistics MIN/MAX multiset)
+// to expose the executor's per-event cost.
+const aggBenchSQL = `
+SELECT auction, wstart, wend,
+       COUNT(*) bids, SUM(price) volume, AVG(price) avgPrice,
+       MIN(price) minPrice, MAX(price) maxPrice
+FROM Tumble(
+  data => TABLE(Bid),
+  timecol => DESCRIPTOR(dateTime),
+  dur => INTERVAL '10' SECONDS)
+GROUP BY auction, wstart, wend`
+
+func benchEngine(t testing.TB, g *Generated, q Query) *core.Engine {
+	t.Helper()
+	var opts []core.Option
+	if q.NeedsUnboundedGroupBy {
+		opts = append(opts, core.WithUnboundedGroupBy())
+	}
+	e, err := NewEngine(g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSerialParallelEquivalence asserts that, for every NEXMark query plus
+// the aggregation benchmark, partitioned execution produces byte-identical
+// results to serial execution — both the stream rendering over the full
+// input and the table rendering at a mid-run processing-time horizon.
+// Non-partitionable queries exercise the serial fallback path, which is
+// identical by construction; Stats.Partitions records which path ran.
+func TestSerialParallelEquivalence(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 1500
+	}
+	g := Generate(GeneratorConfig{Seed: 11, NumEvents: n, MaxOutOfOrderness: 2 * types.Second})
+	mid := types.Time(0).Add(types.Duration(n/2) * 100 * types.Millisecond)
+
+	queries := append(Queries(), Query{ID: -1, Name: "Windowed aggregation (bench)", SQL: aggBenchSQL})
+	for _, q := range queries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			e := benchEngine(t, g, q)
+
+			serialStream, err := e.QueryStream(q.SQL)
+			if err != nil {
+				t.Fatalf("serial stream: %v", err)
+			}
+			parallelStream, err := e.QueryStreamParallel(q.SQL, benchParts)
+			if err != nil {
+				t.Fatalf("parallel stream: %v", err)
+			}
+			if s, p := serialStream.Format(), parallelStream.Format(); s != p {
+				t.Fatalf("stream renderings differ:\nserial:\n%s\nparallel:\n%s", s, p)
+			}
+
+			serialTable, err := e.QueryTable(q.SQL, mid)
+			if err != nil {
+				t.Fatalf("serial table: %v", err)
+			}
+			parallelTable, err := e.QueryTableParallel(q.SQL, mid, benchParts)
+			if err != nil {
+				t.Fatalf("parallel table: %v", err)
+			}
+			if s, p := serialTable.Format(), parallelTable.Format(); s != p {
+				t.Fatalf("table renderings differ:\nserial:\n%s\nparallel:\n%s", s, p)
+			}
+
+			part, err := e.ExplainPartitioning(q.SQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("partitioning: %s (ran on %d chains)", part, parallelStream.Stats.Partitions)
+		})
+	}
+}
+
+// TestPartitioningCoverage pins down which NEXMark queries admit a hash
+// partitioning: the stateless and equi-keyed queries parallelize, while the
+// multi-attribute window joins and re-keyed aggregations fall back to serial
+// (they re-group by columns the partition key does not determine).
+func TestPartitioningCoverage(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 3, NumEvents: 300, MaxOutOfOrderness: types.Second})
+	wantParallel := map[int]bool{0: true, 1: true, 2: true, 3: true, 8: true, -1: true}
+	queries := append(Queries(), Query{ID: -1, Name: "bench aggregation", SQL: aggBenchSQL})
+	for _, q := range queries {
+		e := benchEngine(t, g, q)
+		res, err := e.QueryStreamParallel(q.SQL, benchParts)
+		if err != nil {
+			t.Errorf("Q%d: %v", q.ID, err)
+			continue
+		}
+		gotParallel := res.Stats.Partitions == benchParts
+		if gotParallel != wantParallel[q.ID] {
+			t.Errorf("Q%d: ran with Partitions=%d, want parallel=%v", q.ID, res.Stats.Partitions, wantParallel[q.ID])
+		}
+	}
+}
+
+// TestNexmarkBench is the perf harness: it measures serial vs. partitioned
+// wall-clock for a representative query mix, asserts result equivalence at
+// benchmark scale, and writes BENCH_nexmark.json at the repository root.
+// The >=1.5x speedup acceptance bar for the aggregation query applies where
+// 4-way parallelism physically exists (GOMAXPROCS >= benchParts); on smaller
+// machines the record still captures both throughputs.
+func TestNexmarkBench(t *testing.T) {
+	events, runs := 60000, 3
+	if testing.Short() {
+		events, runs = 8000, 1
+	}
+	g := Generate(GeneratorConfig{Seed: 7, NumEvents: events, MaxOutOfOrderness: 2 * types.Second})
+	rec := bench.New("nexmark", testing.Short())
+
+	mix := []Query{
+		{ID: 1, Name: "Currency conversion (stateless)", SQL: q1},
+		{ID: 3, Name: "Local item suggestion (equi join)", SQL: q3},
+		{ID: -1, Name: "Windowed aggregation", SQL: aggBenchSQL},
+	}
+	var aggResult *bench.QueryResult
+	for _, q := range mix {
+		e := benchEngine(t, g, q)
+		part, err := e.ExplainPartitioning(q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var serialOut, parallelOut string
+		var outEvents, usedParts int
+		serialNs, err := bench.MedianNs(runs, func() error {
+			res, err := e.QueryStream(q.SQL)
+			if err != nil {
+				return err
+			}
+			serialOut = res.Format()
+			outEvents = res.Stats.OutputEvents
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.Name, err)
+		}
+		parallelNs, err := bench.MedianNs(runs, func() error {
+			res, err := e.QueryStreamParallel(q.SQL, benchParts)
+			if err != nil {
+				return err
+			}
+			parallelOut = res.Format()
+			usedParts = res.Stats.Partitions
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", q.Name, err)
+		}
+		if serialOut != parallelOut {
+			t.Fatalf("%s: serial and partitioned outputs differ at benchmark scale", q.Name)
+		}
+
+		qr := bench.QueryResult{
+			ID: q.ID, Name: q.Name, Partitioning: part,
+			Events: events, OutputEvents: outEvents, Partitions: usedParts,
+			SerialNs: serialNs, ParallelNs: parallelNs,
+		}
+		rec.Add(qr)
+		added := rec.Queries[len(rec.Queries)-1]
+		if q.ID == -1 {
+			aggResult = &added
+		}
+		t.Logf("%-34s %s  serial %.0f ev/s, partitioned %.0f ev/s, speedup %.2fx",
+			q.Name, part, added.SerialEventsPerSec, added.ParallelEventsPerSec, added.Speedup)
+	}
+
+	if err := rec.WriteFile("../../BENCH_nexmark.json"); err != nil {
+		t.Fatal(err)
+	}
+
+	if aggResult == nil || aggResult.Partitions != benchParts {
+		t.Fatalf("aggregation benchmark did not run partitioned: %+v", aggResult)
+	}
+	// The >=1.5x bar is a wall-clock assertion: it only arms under `make
+	// bench-full` (NEXMARK_BENCH_STRICT=1) on machines with real 4-way
+	// parallelism, never in the regular or race-instrumented test suite
+	// (race instrumentation penalizes the goroutine-crossing path and
+	// would make the gate flaky).
+	strict := os.Getenv("NEXMARK_BENCH_STRICT") == "1"
+	if strict && !testing.Short() && runtime.GOMAXPROCS(0) >= benchParts {
+		if aggResult.Speedup < 1.5 {
+			t.Errorf("aggregation speedup %.2fx < 1.5x at %d partitions (GOMAXPROCS=%d)",
+				aggResult.Speedup, benchParts, runtime.GOMAXPROCS(0))
+		}
+	} else {
+		t.Logf("speedup bar skipped: strict=%v short=%v GOMAXPROCS=%d (need NEXMARK_BENCH_STRICT=1 and %d cores)",
+			strict, testing.Short(), runtime.GOMAXPROCS(0), benchParts)
+	}
+}

@@ -1,0 +1,430 @@
+package plan
+
+import "fmt"
+
+// This file derives the metadata for key-partitioned parallel execution: a
+// hash-routing assignment per scan under which the plan can run as N
+// independent per-partition operator chains whose merged output is identical
+// to serial execution.
+//
+// The analysis rests on one invariant: rows that can ever meet in a stateful
+// operator's state (the same aggregation group, the same join-key bucket, the
+// same DISTINCT row) must be routed to the same partition. Stateless
+// operators (filter, project, tumble/hop windows) never combine rows, so they
+// impose no constraint. A plan with no stateful operator at all may be
+// partitioned round-robin.
+//
+// Bottom-up, each subtree reports:
+//
+//   - provenance: which output columns are verbatim copies of a scan column
+//     (hash routing must be computable at the scan, before any operator runs);
+//   - the partition-key slots already fixed by stateful operators below, as
+//     the output column positions carrying each key component.
+//
+// Stateful operators either create a constraint (choosing hashable columns
+// from their keys and assigning routing columns to the scans below) or check
+// that the inherited constraint is compatible (every key component must be
+// functionally preserved by their own grouping/join keys). Incompatible or
+// inherently global operators (keyless aggregation, session windows, set
+// operations, constant relations) make the plan non-partitionable and the
+// caller falls back to serial execution.
+
+// Partitioning is the routing assignment for a partitionable plan.
+type Partitioning struct {
+	// ScanKeys maps each Scan node of the plan to the ordered column
+	// indexes (in the scan's schema) whose values are hashed to route a
+	// row. Co-partitioned scans (join sides) list their columns in the
+	// same component order so matching rows hash identically.
+	ScanKeys map[*Scan][]int
+	// RoundRobin is set when the plan has no stateful operator: any
+	// deterministic routing preserves results, so the driver may balance
+	// load freely.
+	RoundRobin bool
+
+	order []*Scan // assignment order, for deterministic Describe output
+}
+
+// Describe renders the routing assignment deterministically.
+func (p *Partitioning) Describe() string {
+	if p.RoundRobin {
+		return "round-robin"
+	}
+	s := ""
+	for i, sc := range p.order {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("hash(%s:%v)", sc.Name, p.ScanKeys[sc])
+	}
+	return s
+}
+
+// provRef records that an output column is a verbatim copy of a scan column.
+type provRef struct {
+	scan *Scan
+	col  int
+	ok   bool
+}
+
+// slotRef is one component of the partition key: the output column positions
+// currently carrying its value (several after a join; possibly none after a
+// projection dropped it, which only matters if a parent still needs it).
+type slotRef struct {
+	positions []int
+}
+
+// partInfo is the bottom-up analysis state for one node's output.
+type partInfo struct {
+	prov  []provRef
+	slots []slotRef // nil while no stateful operator constrained the subtree
+}
+
+// DerivePartitioning computes the hash-routing assignment for the planned
+// query, or an error explaining why the plan must run serially.
+func DerivePartitioning(pq *PlannedQuery) (*Partitioning, error) {
+	p := &Partitioning{ScanKeys: make(map[*Scan][]int)}
+	info, err := p.analyze(pq.Root)
+	if err != nil {
+		return nil, err
+	}
+	if info.slots == nil {
+		p.RoundRobin = true
+		return p, nil
+	}
+	// Safety net: a constrained plan must have every scan assigned. The
+	// operator cases guarantee this (any two-input combiner is stateful or
+	// non-partitionable), but verify rather than silently mis-route.
+	var missing error
+	var walk func(n Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			if _, assigned := p.ScanKeys[s]; !assigned {
+				missing = fmt.Errorf("plan: scan %s has no routing key", s.Name)
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(pq.Root)
+	if missing != nil {
+		return nil, missing
+	}
+	return p, nil
+}
+
+func (p *Partitioning) analyze(n Node) (*partInfo, error) {
+	switch x := n.(type) {
+	case *Scan:
+		in := &partInfo{prov: make([]provRef, x.Sch.Len())}
+		for i := range in.prov {
+			in.prov[i] = provRef{scan: x, col: i, ok: true}
+		}
+		return in, nil
+
+	case *Filter:
+		// Filtering drops rows but never moves values between columns.
+		return p.analyze(x.Input)
+
+	case *Project:
+		in, err := p.analyze(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := &partInfo{prov: make([]provRef, len(x.Exprs))}
+		for i, e := range x.Exprs {
+			if cr, ok := e.(*ColRef); ok {
+				out.prov[i] = in.prov[cr.Idx]
+			}
+		}
+		if in.slots != nil {
+			out.slots = make([]slotRef, len(in.slots))
+			for si, s := range in.slots {
+				var pos []int
+				for i, e := range x.Exprs {
+					if cr, ok := e.(*ColRef); ok && containsInt(s.positions, cr.Idx) {
+						pos = append(pos, i)
+					}
+				}
+				out.slots[si] = slotRef{positions: pos}
+			}
+		}
+		return out, nil
+
+	case *WindowTVF:
+		if x.Fn == SessionFn {
+			return nil, fmt.Errorf("plan: session windows merge across arbitrary rows and cannot be hash-partitioned")
+		}
+		in, err := p.analyze(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		// Tumble/Hop append wstart/wend per row; input columns keep their
+		// positions, the appended columns have no scan provenance.
+		out := &partInfo{prov: make([]provRef, len(in.prov)+2), slots: in.slots}
+		copy(out.prov, in.prov)
+		return out, nil
+
+	case *Distinct:
+		in, err := p.analyze(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		if in.slots == nil {
+			// DISTINCT's state key is the whole row: equal rows agree on
+			// every column, so hashing any provenance-backed subset
+			// co-locates duplicates.
+			var cols []int
+			for i, pr := range in.prov {
+				if pr.ok {
+					cols = append(cols, i)
+				}
+			}
+			if len(cols) == 0 {
+				return nil, fmt.Errorf("plan: DISTINCT input has no scan-backed column to hash")
+			}
+			if err := p.assign(in, cols); err != nil {
+				return nil, err
+			}
+			in.slots = make([]slotRef, len(cols))
+			for i, c := range cols {
+				in.slots[i] = slotRef{positions: []int{c}}
+			}
+			return in, nil
+		}
+		// Constrained input: equal rows co-locate only if every
+		// partition-key component is still present in the row (a
+		// projection may have dropped the key columns, after which equal
+		// rows can hash apart).
+		for si, s := range in.slots {
+			if len(s.positions) == 0 {
+				return nil, fmt.Errorf("plan: DISTINCT input no longer carries the partition key (component %d)", si)
+			}
+		}
+		return in, nil
+
+	case *Aggregate:
+		in, err := p.analyze(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := &partInfo{prov: make([]provRef, x.Sch.Len())}
+		for ki, k := range x.Keys {
+			if cr, ok := k.(*ColRef); ok {
+				out.prov[ki] = in.prov[cr.Idx]
+			}
+		}
+		if in.slots == nil {
+			// Create the constraint: hash every grouping key that is a
+			// plain scan-backed column reference. Rows of one group are
+			// equal on all keys, hence on the hashed subset.
+			var inCols, outPos []int
+			for ki, k := range x.Keys {
+				if cr, ok := k.(*ColRef); ok && in.prov[cr.Idx].ok {
+					inCols = append(inCols, cr.Idx)
+					outPos = append(outPos, ki)
+				}
+			}
+			if len(inCols) == 0 {
+				return nil, fmt.Errorf("plan: aggregation has no hash-partitionable grouping key")
+			}
+			if err := p.assign(in, inCols); err != nil {
+				return nil, err
+			}
+			out.slots = make([]slotRef, len(inCols))
+			for i := range inCols {
+				out.slots[i] = slotRef{positions: []int{outPos[i]}}
+			}
+			return out, nil
+		}
+		// Check the inherited constraint: every partition-key component
+		// must be one of this aggregation's grouping keys, otherwise a
+		// group would span partitions.
+		out.slots = make([]slotRef, len(in.slots))
+		for si, s := range in.slots {
+			var pos []int
+			for ki, k := range x.Keys {
+				if cr, ok := k.(*ColRef); ok && containsInt(s.positions, cr.Idx) {
+					pos = append(pos, ki)
+				}
+			}
+			if len(pos) == 0 {
+				return nil, fmt.Errorf("plan: grouping keys do not preserve the partition key (component %d)", si)
+			}
+			out.slots[si] = slotRef{positions: pos}
+		}
+		return out, nil
+
+	case *Join:
+		li, err := p.analyze(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := p.analyze(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		leftW := x.Left.Schema().Len()
+		out := &partInfo{prov: make([]provRef, len(li.prov)+len(ri.prov))}
+		copy(out.prov, li.prov)
+		copy(out.prov[leftW:], ri.prov)
+
+		switch {
+		case li.slots == nil && ri.slots == nil:
+			// Create the constraint from every scan-backed equi pair.
+			// Matching rows agree pairwise, so both sides hash alike.
+			var lCols, rCols []int
+			var slots []slotRef
+			for i := range x.LeftKeys {
+				l, r := x.LeftKeys[i], x.RightKeys[i]
+				if li.prov[l].ok && ri.prov[r].ok {
+					lCols = append(lCols, l)
+					rCols = append(rCols, r)
+					slots = append(slots, slotRef{positions: []int{l, leftW + r}})
+				}
+			}
+			if len(slots) == 0 {
+				return nil, fmt.Errorf("plan: join has no hash-partitionable equi key")
+			}
+			if err := p.assign(li, lCols); err != nil {
+				return nil, err
+			}
+			if err := p.assign(ri, rCols); err != nil {
+				return nil, err
+			}
+			out.slots = slots
+			return out, nil
+
+		case li.slots != nil && ri.slots == nil:
+			slots, rCols, err := alignJoinSide(li.slots, x.LeftKeys, x.RightKeys, ri, leftW, false)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.assign(ri, rCols); err != nil {
+				return nil, err
+			}
+			out.slots = slots
+			return out, nil
+
+		case li.slots == nil && ri.slots != nil:
+			slots, lCols, err := alignJoinSide(ri.slots, x.RightKeys, x.LeftKeys, li, leftW, true)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.assign(li, lCols); err != nil {
+				return nil, err
+			}
+			out.slots = slots
+			return out, nil
+
+		default:
+			// Both sides already partitioned: the keys must pair up
+			// component-by-component through the equi predicates.
+			if len(li.slots) != len(ri.slots) {
+				return nil, fmt.Errorf("plan: join sides are partitioned by keys of different arity (%d vs %d)", len(li.slots), len(ri.slots))
+			}
+			out.slots = make([]slotRef, len(li.slots))
+			for si := range li.slots {
+				found := false
+				for i := range x.LeftKeys {
+					if containsInt(li.slots[si].positions, x.LeftKeys[i]) && containsInt(ri.slots[si].positions, x.RightKeys[i]) {
+						pos := append(append([]int{}, li.slots[si].positions...), shiftInts(ri.slots[si].positions, leftW)...)
+						out.slots[si] = slotRef{positions: pos}
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("plan: join equi keys do not align the two sides' partition keys (component %d)", si)
+				}
+			}
+			return out, nil
+		}
+
+	case *Values:
+		return nil, fmt.Errorf("plan: constant relations emit at open time and cannot be partitioned")
+	case *Union:
+		return nil, fmt.Errorf("plan: UNION inputs cannot be co-partitioned")
+	case *SetOp:
+		return nil, fmt.Errorf("plan: set operations cannot be co-partitioned")
+	default:
+		return nil, fmt.Errorf("plan: cannot partition node %T", n)
+	}
+}
+
+// alignJoinSide extends a one-side partition key across a join: for each key
+// component (a slot of the constrained side), an equi pair must anchor it to
+// a scan-backed column of the unconstrained side, which then receives the
+// matching routing assignment. constrainedIsRight says the constrained slots
+// belong to the join's right input (and therefore shift by leftW in the
+// output).
+func alignJoinSide(constrained []slotRef, constrainedKeys, otherKeys []int, other *partInfo, leftW int, constrainedIsRight bool) ([]slotRef, []int, error) {
+	slots := make([]slotRef, len(constrained))
+	otherCols := make([]int, 0, len(constrained))
+	for si, s := range constrained {
+		found := false
+		for i := range constrainedKeys {
+			if containsInt(s.positions, constrainedKeys[i]) && other.prov[otherKeys[i]].ok {
+				oc := otherKeys[i]
+				otherCols = append(otherCols, oc)
+				var pos []int
+				if constrainedIsRight {
+					pos = append(shiftInts(s.positions, leftW), oc)
+				} else {
+					pos = append(append([]int{}, s.positions...), leftW+oc)
+				}
+				slots[si] = slotRef{positions: pos}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("plan: join equi keys do not cover the partition key (component %d)", si)
+		}
+	}
+	return slots, otherCols, nil
+}
+
+// assign records the routing columns for a freshly created constraint. All
+// columns must trace to a single scan: the analysis only creates constraints
+// over unconstrained subtrees, which (having no stateful combiner) contain
+// exactly one scan.
+func (p *Partitioning) assign(in *partInfo, cols []int) error {
+	var scan *Scan
+	scanCols := make([]int, 0, len(cols))
+	for _, c := range cols {
+		pr := in.prov[c]
+		if !pr.ok {
+			return fmt.Errorf("plan: internal: routing column %d has no provenance", c)
+		}
+		if scan == nil {
+			scan = pr.scan
+		} else if scan != pr.scan {
+			return fmt.Errorf("plan: partition key spans scans %s and %s", scan.Name, pr.scan.Name)
+		}
+		scanCols = append(scanCols, pr.col)
+	}
+	if _, dup := p.ScanKeys[scan]; dup {
+		return fmt.Errorf("plan: internal: scan %s assigned twice", scan.Name)
+	}
+	p.ScanKeys[scan] = scanCols
+	p.order = append(p.order, scan)
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func shiftInts(xs []int, d int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x + d
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package plan
+
+// Tests for the hash-partitioning analysis: which plans partition, on which
+// scan columns, and why the rest must run serially.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+func derive(t *testing.T, sql string) (*Partitioning, error) {
+	t.Helper()
+	return DerivePartitioning(mustPlan(t, sql))
+}
+
+// deriveUnbounded plans with the Extension 2 escape hatch (for shapes that
+// group an unbounded stream by a non-event-time key).
+func deriveUnbounded(t *testing.T, sql string) (*Partitioning, error) {
+	t.Helper()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pq, err := plannerFor(t, Config{AllowUnboundedGroupBy: true}).Plan(q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	return DerivePartitioning(pq)
+}
+
+func mustDerive(t *testing.T, sql string) *Partitioning {
+	t.Helper()
+	p, err := derive(t, sql)
+	if err != nil {
+		t.Fatalf("derive %q: %v", sql, err)
+	}
+	return p
+}
+
+// TestPartitionStatelessRoundRobin: plans without stateful operators may be
+// routed freely.
+func TestPartitionStatelessRoundRobin(t *testing.T) {
+	p := mustDerive(t, `SELECT item, price * 2 FROM Bid WHERE price > 3`)
+	if !p.RoundRobin {
+		t.Fatalf("expected round-robin, got %s", p.Describe())
+	}
+}
+
+// TestPartitionGroupByKey: grouped aggregation hashes the scan-backed
+// grouping keys; the appended window columns contribute nothing.
+func TestPartitionGroupByKey(t *testing.T) {
+	p := mustDerive(t, `
+		SELECT item, wend, SUM(price)
+		FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES)
+		GROUP BY item, wend`)
+	if p.RoundRobin {
+		t.Fatal("expected a hash assignment")
+	}
+	// item is Bid's column 2; wend has no scan provenance.
+	if got := p.Describe(); got != "hash(Bid:[2])" {
+		t.Errorf("Describe() = %q, want hash(Bid:[2])", got)
+	}
+}
+
+// TestPartitionJoinCoPartitions: equi joins co-partition both scans on the
+// paired key columns.
+func TestPartitionJoinCoPartitions(t *testing.T) {
+	p := mustDerive(t, `
+		SELECT B.item, C.name FROM Bid B JOIN Category C ON B.price = C.id`)
+	if got := p.Describe(); got != "hash(Bid:[1]), hash(Category:[0])" {
+		t.Errorf("Describe() = %q", got)
+	}
+}
+
+// TestPartitionAggOverJoinChecksCompatibility: an aggregation above a join
+// keeps the partitioning only when its grouping keys preserve the join key.
+func TestPartitionAggOverJoinChecksCompatibility(t *testing.T) {
+	// Compatible: grouping includes the join key column.
+	if _, err := deriveUnbounded(t, `
+		SELECT Q.id, COUNT(*) FROM
+		(SELECT C.id id, B.item item FROM Bid B JOIN Category C ON B.price = C.id) Q
+		GROUP BY Q.id, Q.item`); err != nil {
+		t.Fatalf("compatible grouping should partition: %v", err)
+	}
+
+	// Incompatible: grouping by a non-key column would split join groups
+	// across partitions.
+	if _, err := deriveUnbounded(t, `
+		SELECT Q.item, COUNT(*) FROM
+		(SELECT C.id id, B.item item FROM Bid B JOIN Category C ON B.price = C.id) Q
+		GROUP BY Q.item`); err == nil {
+		t.Fatal("expected incompatible grouping to fail")
+	}
+}
+
+// TestPartitionRejectsGlobalShapes: keyless aggregation, constant relations,
+// and set operations are inherently global.
+func TestPartitionRejectsGlobalShapes(t *testing.T) {
+	for name, sql := range map[string]string{
+		"global aggregate": `SELECT COUNT(*) FROM Bid`,
+		"grouping by expression only": `
+			SELECT wend, COUNT(*)
+			FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES)
+			GROUP BY wend`,
+		"values":    `SELECT 1 + 2`,
+		"union":     `SELECT item FROM Bid UNION ALL SELECT name FROM Category`,
+		"intersect": `SELECT item FROM Bid INTERSECT SELECT name FROM Category`,
+	} {
+		if _, err := derive(t, sql); err == nil {
+			t.Errorf("%s: expected serial fallback", name)
+		}
+	}
+}
+
+// TestPartitionDistinctHashesRow: DISTINCT constrains routing to the
+// scan-backed output columns (equal rows must co-locate).
+func TestPartitionDistinctHashesRow(t *testing.T) {
+	p := mustDerive(t, `SELECT DISTINCT item, price FROM Bid`)
+	if got := p.Describe(); !strings.HasPrefix(got, "hash(Bid:") {
+		t.Errorf("Describe() = %q, want a Bid hash assignment", got)
+	}
+}
+
+// TestPartitionDistinctRequiresSurvivingKey: DISTINCT above a projection
+// that drops the partition-key columns must fall back — equal projected rows
+// could otherwise hash to different partitions and each emit the row once
+// (regression test: this shape produced duplicate rows before the check).
+func TestPartitionDistinctRequiresSurvivingKey(t *testing.T) {
+	// The join partitions on B.price = C.id, but only item survives the
+	// projection, so equal (item) rows may carry different join keys.
+	if _, err := derive(t, `
+		SELECT DISTINCT B.item FROM Bid B JOIN Category C ON B.price = C.id`); err == nil {
+		t.Fatal("expected serial fallback when the projection drops the partition key")
+	}
+	// Keeping the key column restores partitionability.
+	if _, err := derive(t, `
+		SELECT DISTINCT B.item, B.price FROM Bid B JOIN Category C ON B.price = C.id`); err != nil {
+		t.Fatalf("key-preserving DISTINCT should partition: %v", err)
+	}
+}

@@ -27,8 +27,12 @@ func NewRelation() *Relation {
 }
 
 // Insert adds one copy of row to the bag.
-func (r *Relation) Insert(row types.Row) {
-	k := row.Key()
+func (r *Relation) Insert(row types.Row) { r.InsertKeyed(row, row.Key()) }
+
+// InsertKeyed is Insert with the row's serialized key precomputed by the
+// caller (k must equal row.Key()); the parallel executor hashes rows in
+// worker goroutines and reuses the serialization here.
+func (r *Relation) InsertKeyed(row types.Row, k string) {
 	e, ok := r.entries[k]
 	if !ok {
 		e = &entry{row: row.Clone()}
@@ -46,8 +50,11 @@ func (r *Relation) Insert(row types.Row) {
 // Delete removes one copy of row from the bag. Deleting a row that is not
 // present is an error: it means an upstream operator emitted an unmatched
 // retraction, which would silently corrupt downstream state.
-func (r *Relation) Delete(row types.Row) error {
-	k := row.Key()
+func (r *Relation) Delete(row types.Row) error { return r.DeleteKeyed(row, row.Key()) }
+
+// DeleteKeyed is Delete with the row's serialized key precomputed (k must
+// equal row.Key()).
+func (r *Relation) DeleteKeyed(row types.Row, k string) error {
 	e, ok := r.entries[k]
 	if !ok || e.count == 0 {
 		return fmt.Errorf("tvr: retraction of absent row %s", row)
@@ -65,6 +72,20 @@ func (r *Relation) Apply(e Event) error {
 		return nil
 	case Delete:
 		return r.Delete(e.Row)
+	default:
+		return nil
+	}
+}
+
+// ApplyKeyed folds a data event into the bag using a precomputed row key
+// (k must equal e.Row.Key()).
+func (r *Relation) ApplyKeyed(e Event, k string) error {
+	switch e.Kind {
+	case Insert:
+		r.InsertKeyed(e.Row, k)
+		return nil
+	case Delete:
+		return r.DeleteKeyed(e.Row, k)
 	default:
 		return nil
 	}
