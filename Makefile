@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full verify
+.PHONY: all build vet test race bench bench-full bench-live verify
 
 all: verify
 
@@ -20,9 +20,15 @@ race:
 	$(GO) test -race ./...
 
 # Short-mode benchmark harness: asserts serial/partitioned equivalence at
-# reduced scale and refreshes BENCH_nexmark.json quickly.
+# reduced scale and refreshes BENCH_nexmark.json and BENCH_live.json quickly.
 bench:
-	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence' -short -v
+	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench' -short -v
+
+# Standing-query serving benchmark: ingests the NEXMark bid stream through a
+# live subscription and refreshes BENCH_live.json (steady-state throughput +
+# per-delta latency percentiles).
+bench-live:
+	$(GO) test ./internal/nexmark -run TestLiveBench -v -timeout 10m
 
 # Full-scale benchmark: regenerates BENCH_nexmark.json at 60k events and
 # enforces the >=1.5x partitioned speedup bar on machines with >=4 cores

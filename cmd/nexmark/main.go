@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,24 +26,37 @@ import (
 )
 
 func main() {
-	var (
-		queryID = flag.Int("query", 7, "NEXMark query number (0-8)")
-		events  = flag.Int("events", 5000, "number of generated input events")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		parts   = flag.Int("parts", 1, "partitions (>1 enables the parallel executor)")
-		both    = flag.Bool("both", false, "run serial AND partitioned, verify identical output")
-		explain = flag.Bool("explain", false, "print the optimized plan and partitioning, don't execute")
-		rows    = flag.Int("rows", 10, "result rows to print (0 = all)")
-	)
-	flag.Parse()
-
-	if err := run(*queryID, *events, *seed, *parts, *both, *explain, *rows); err != nil {
-		fmt.Fprintln(os.Stderr, "nexmark:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(queryID, events int, seed int64, parts int, both, explain bool, maxRows int) error {
+// cliMain is the testable entry point: it parses args, runs the query, and
+// returns the process exit code (0 ok, 1 run error, 2 flag error).
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nexmark", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		queryID = fs.Int("query", 7, "NEXMark query number (0-8)")
+		events  = fs.Int("events", 5000, "number of generated input events")
+		seed    = fs.Int64("seed", 42, "generator seed")
+		parts   = fs.Int("parts", 1, "partitions (>1 enables the parallel executor)")
+		both    = fs.Bool("both", false, "run serial AND partitioned, verify identical output")
+		explain = fs.Bool("explain", false, "print the optimized plan and partitioning, don't execute")
+		rows    = fs.Int("rows", 10, "result rows to print (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if err := run(stdout, *queryID, *events, *seed, *parts, *both, *explain, *rows); err != nil {
+		fmt.Fprintln(stderr, "nexmark:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(out io.Writer, queryID, events int, seed int64, parts int, both, explain bool, maxRows int) error {
 	q, err := nexmark.QueryByID(queryID)
 	if err != nil {
 		return err
@@ -58,20 +73,20 @@ func run(queryID, events int, seed int64, parts int, both, explain bool, maxRows
 		return err
 	}
 
-	fmt.Printf("Q%d: %s  (%d persons, %d auctions, %d bids)\n",
+	fmt.Fprintf(out, "Q%d: %s  (%d persons, %d auctions, %d bids)\n",
 		q.ID, q.Name, g.NumPersons, g.NumAuctions, g.NumBids)
 
 	part, err := e.ExplainPartitioning(q.SQL)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("partitioning: %s\n", part)
+	fmt.Fprintf(out, "partitioning: %s\n", part)
 	if explain {
 		plan, err := e.Explain(q.SQL)
 		if err != nil {
 			return err
 		}
-		fmt.Print(plan)
+		fmt.Fprint(out, plan)
 		return nil
 	}
 
@@ -102,11 +117,11 @@ func run(queryID, events int, seed int64, parts int, both, explain bool, maxRows
 		if s, p := serial.Format(), parallel.Format(); s != p {
 			return fmt.Errorf("serial and partitioned results DIFFER:\nserial:\n%s\npartitioned:\n%s", s, p)
 		}
-		fmt.Printf("serial:      %10.0f events/s (%s)\n", float64(events)/sd.Seconds(), sd.Round(time.Microsecond))
-		fmt.Printf("partitioned: %10.0f events/s (%s, %d chains)\n",
+		fmt.Fprintf(out, "serial:      %10.0f events/s (%s)\n", float64(events)/sd.Seconds(), sd.Round(time.Microsecond))
+		fmt.Fprintf(out, "partitioned: %10.0f events/s (%s, %d chains)\n",
 			float64(events)/pd.Seconds(), pd.Round(time.Microsecond), parallel.Stats.Partitions)
-		fmt.Printf("results identical across both executors (%d rows)\n", len(serial.Rows))
-		printRows(serial, maxRows)
+		fmt.Fprintf(out, "results identical across both executors (%d rows)\n", len(serial.Rows))
+		printRows(out, serial, maxRows)
 		return nil
 	}
 
@@ -114,22 +129,22 @@ func run(queryID, events int, seed int64, parts int, both, explain bool, maxRows
 	if err != nil {
 		return err
 	}
-	fmt.Printf("executed on %d chain(s) in %s (%.0f events/s); state rows %d, late dropped %d\n",
+	fmt.Fprintf(out, "executed on %d chain(s) in %s (%.0f events/s); state rows %d, late dropped %d\n",
 		res.Stats.Partitions, d.Round(time.Microsecond), float64(events)/d.Seconds(),
 		res.Stats.StateRows, res.Stats.LateDropped)
-	printRows(res, maxRows)
+	printRows(out, res, maxRows)
 	return nil
 }
 
-func printRows(res *core.TableResult, maxRows int) {
+func printRows(out io.Writer, res *core.TableResult, maxRows int) {
 	rows := res.Rows
 	truncated := 0
 	if maxRows > 0 && len(rows) > maxRows {
 		truncated = len(rows) - maxRows
 		rows = rows[:maxRows]
 	}
-	fmt.Print((&core.TableResult{Schema: res.Schema, Rows: rows}).Format())
+	fmt.Fprint(out, (&core.TableResult{Schema: res.Schema, Rows: rows}).Format())
 	if truncated > 0 {
-		fmt.Printf("... and %d more rows\n", truncated)
+		fmt.Fprintf(out, "... and %d more rows\n", truncated)
 	}
 }

@@ -1,0 +1,83 @@
+package main
+
+// CLI-level tests: the query-running logic is a plain function over an
+// io.Writer, so the equivalence output, exit codes, and error paths are
+// asserted without spawning a process.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBothEquivalence: -both runs serial and partitioned and reports the
+// identical-results check.
+func TestBothEquivalence(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := cliMain([]string{"-query", "2", "-events", "600", "-both"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"Q2: Selection",
+		"partitioning: round-robin",
+		"results identical across both executors",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSerialFallbackQuery: a non-partitionable query still runs with -both
+// via the transparent serial fallback.
+func TestSerialFallbackQuery(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := cliMain([]string{"-query", "7", "-events", "600", "-both"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "partitioning: serial (") {
+		t.Errorf("expected serial fallback partitioning line:\n%s", out)
+	}
+	if !strings.Contains(out, "results identical across both executors") {
+		t.Errorf("missing equivalence line:\n%s", out)
+	}
+}
+
+// TestExplain prints the plan without executing.
+func TestExplain(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := cliMain([]string{"-query", "3", "-events", "200", "-explain"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Join") {
+		t.Errorf("explain output missing plan:\n%s", stdout.String())
+	}
+}
+
+// TestUnknownQuery exits 1 with an error on stderr.
+func TestUnknownQuery(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := cliMain([]string{"-query", "99", "-events", "100"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no query 99") {
+		t.Errorf("stderr = %q, want unknown-query error", stderr.String())
+	}
+}
+
+// TestBadFlag exits 2 on flag parse errors.
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := cliMain([]string{"-nonsense"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("flag error not reported on stderr")
+	}
+}

@@ -1,0 +1,594 @@
+package main
+
+// Server is the HTTP/JSON front-end over the streaming SQL engine: register
+// relations, ingest changelog events, run one-shot queries, and open
+// standing-query subscriptions whose deltas stream back over a chunked
+// ndjson response. It exists so the engine can run as a long-lived process
+// serving live traffic instead of a per-query batch tool.
+//
+// Endpoints:
+//
+//	POST /v1/relations                  register a stream or table
+//	POST /v1/relations/{name}/events    append a changelog batch (atomic)
+//	POST /v1/heartbeat                  advance processing time for EMIT AFTER DELAY
+//	GET  /v1/query?sql=&at=&mode=       one-shot table or stream rendering
+//	GET  /v1/subscribe?sql=&mode=&...   standing query; chunked ndjson deltas
+//	GET  /v1/subscriptions              per-subscription stats
+//	DELETE /v1/subscriptions/{id}       cancel a standing query
+//	GET  /v1/healthz                    liveness + session count
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Server routes HTTP requests to one engine. It tracks the subscriptions it
+// opened so they can be listed and canceled by id.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*subEntry
+}
+
+type subEntry struct {
+	id   int
+	sql  string
+	mode string
+	sub  *live.Subscription
+}
+
+// NewServer wraps the engine in the HTTP front-end.
+func NewServer(e *core.Engine) *Server {
+	s := &Server{engine: e, subs: make(map[int]*subEntry), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/relations", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/relations/{name}/events", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubscriptions)
+	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.handleUnsubscribe)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- wire types ----
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// EventTime marks the column as watermarked event time (Extension 1).
+	EventTime bool `json:"eventTime,omitempty"`
+}
+
+type registerJSON struct {
+	Name string `json:"name"`
+	// Kind is "stream" (unbounded) or "table" (bounded).
+	Kind   string       `json:"kind"`
+	Schema []columnJSON `json:"schema"`
+}
+
+type eventJSON struct {
+	// Kind is "insert", "delete", or "watermark".
+	Kind string `json:"kind"`
+	// Ptime is the processing time in engine milliseconds.
+	Ptime types.Time `json:"ptime"`
+	// Row holds the column values for insert/delete.
+	Row []any `json:"row,omitempty"`
+	// Wm is the watermark value for watermark events.
+	Wm types.Time `json:"wm,omitempty"`
+}
+
+type ingestJSON struct {
+	Events []eventJSON `json:"events"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// parseKind maps a wire type name to a value kind.
+func parseKind(s string) (types.Kind, error) {
+	switch strings.ToUpper(s) {
+	case "BOOLEAN", "BOOL":
+		return types.KindBool, nil
+	case "BIGINT", "INT", "INTEGER":
+		return types.KindInt64, nil
+	case "DOUBLE", "FLOAT":
+		return types.KindFloat64, nil
+	case "VARCHAR", "STRING", "TEXT":
+		return types.KindString, nil
+	case "TIMESTAMP":
+		return types.KindTimestamp, nil
+	case "INTERVAL":
+		return types.KindInterval, nil
+	default:
+		return 0, fmt.Errorf("unknown column type %q", s)
+	}
+}
+
+// asInt64 extracts an integral JSON value without the float64 round-trip
+// that corrupts integers above 2^53 (ingest decodes with UseNumber, so
+// numbers arrive as json.Number).
+func asInt64(v any) (int64, bool) {
+	switch n := v.(type) {
+	case json.Number:
+		i, err := n.Int64()
+		return i, err == nil
+	case float64:
+		return int64(n), true
+	default:
+		return 0, false
+	}
+}
+
+// decodeRow coerces JSON values into a typed row using the relation schema.
+func decodeRow(vals []any, sch *types.Schema) (types.Row, error) {
+	if len(vals) != sch.Len() {
+		return nil, fmt.Errorf("row has %d values, schema has %d columns", len(vals), sch.Len())
+	}
+	row := make(types.Row, len(vals))
+	for i, v := range vals {
+		c := sch.Cols[i]
+		if v == nil {
+			row[i] = types.Null()
+			continue
+		}
+		switch c.Kind {
+		case types.KindBool:
+			b, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("column %s: expected boolean", c.Name)
+			}
+			row[i] = types.NewBool(b)
+		case types.KindInt64:
+			n, ok := asInt64(v)
+			if !ok {
+				return nil, fmt.Errorf("column %s: expected integer", c.Name)
+			}
+			row[i] = types.NewInt(n)
+		case types.KindFloat64:
+			var f float64
+			switch n := v.(type) {
+			case json.Number:
+				parsed, err := n.Float64()
+				if err != nil {
+					return nil, fmt.Errorf("column %s: %w", c.Name, err)
+				}
+				f = parsed
+			case float64:
+				f = n
+			default:
+				return nil, fmt.Errorf("column %s: expected number", c.Name)
+			}
+			row[i] = types.NewFloat(f)
+		case types.KindString:
+			str, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("column %s: expected string", c.Name)
+			}
+			row[i] = types.NewString(str)
+		case types.KindTimestamp:
+			n, ok := asInt64(v)
+			if !ok {
+				return nil, fmt.Errorf("column %s: expected timestamp milliseconds", c.Name)
+			}
+			row[i] = types.NewTimestamp(types.Time(n))
+		case types.KindInterval:
+			n, ok := asInt64(v)
+			if !ok {
+				return nil, fmt.Errorf("column %s: expected interval milliseconds", c.Name)
+			}
+			row[i] = types.NewInterval(types.Duration(n))
+		default:
+			return nil, fmt.Errorf("column %s: unsupported kind", c.Name)
+		}
+	}
+	return row, nil
+}
+
+// encodeRow renders a typed row as JSON scalars (timestamps and intervals as
+// engine milliseconds).
+func encodeRow(row types.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch v.Kind() {
+		case types.KindNull:
+			out[i] = nil
+		case types.KindBool:
+			out[i] = v.Bool()
+		case types.KindInt64:
+			out[i] = v.Int()
+		case types.KindFloat64:
+			out[i] = v.Float()
+		case types.KindString:
+			out[i] = v.Str()
+		case types.KindTimestamp:
+			out[i] = int64(v.Timestamp())
+		case types.KindInterval:
+			out[i] = int64(v.Interval())
+		}
+	}
+	return out
+}
+
+func encodeSchema(sch *types.Schema) []columnJSON {
+	out := make([]columnJSON, sch.Len())
+	for i, c := range sch.Cols {
+		out[i] = columnJSON{Name: c.Name, Type: c.Kind.String(), EventTime: c.EventTime}
+	}
+	return out
+}
+
+// ---- handlers ----
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cols := make([]types.Column, 0, len(req.Schema))
+	for _, c := range req.Schema {
+		k, err := parseKind(c.Type)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cols = append(cols, types.Column{Name: c.Name, Kind: k, EventTime: c.EventTime})
+	}
+	sch := types.NewSchema(cols...)
+	var err error
+	switch strings.ToLower(req.Kind) {
+	case "", "stream":
+		err = s.engine.RegisterStream(req.Name, sch)
+	case "table":
+		err = s.engine.RegisterTable(req.Name, sch)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("kind must be stream or table, got %q", req.Kind))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "kind": req.Kind})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, err := s.engine.Resolve(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req ingestJSON
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber() // preserve full BIGINT precision (no float64 round-trip)
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	log := make(tvr.Changelog, 0, len(req.Events))
+	for i, ev := range req.Events {
+		switch strings.ToLower(ev.Kind) {
+		case "insert", "delete":
+			row, err := decodeRow(ev.Row, rel.Schema)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("event %d: %w", i, err))
+				return
+			}
+			if strings.ToLower(ev.Kind) == "insert" {
+				log = append(log, tvr.InsertEvent(ev.Ptime, row))
+			} else {
+				log = append(log, tvr.DeleteEvent(ev.Ptime, row))
+			}
+		case "watermark":
+			log = append(log, tvr.WatermarkEvent(ev.Ptime, ev.Wm))
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("event %d: unknown kind %q", i, ev.Kind))
+			return
+		}
+	}
+	// AppendLog validates and applies the whole batch atomically and
+	// routes it to standing queries in commit order.
+	if err := s.engine.AppendLog(name, log); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"appended": len(log)})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ptime types.Time `json:"ptime"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.engine.Heartbeat(req.Ptime)
+	writeJSON(w, http.StatusOK, map[string]any{"ptime": req.Ptime})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql parameter"))
+		return
+	}
+	at := types.MaxTime
+	if v := r.URL.Query().Get("at"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad at parameter: %w", err))
+			return
+		}
+		at = types.Time(n)
+	}
+	parts := 1
+	if v := r.URL.Query().Get("parts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad parts parameter: %w", err))
+			return
+		}
+		parts = n
+	}
+	switch r.URL.Query().Get("mode") {
+	case "", "table":
+		var res *core.TableResult
+		var err error
+		if parts > 1 {
+			res, err = s.engine.QueryTableParallel(sql, at, parts)
+		} else {
+			res, err = s.engine.QueryTable(sql, at)
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		rows := make([][]any, len(res.Rows))
+		for i, row := range res.Rows {
+			rows[i] = encodeRow(row)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"schema": encodeSchema(res.Schema), "rows": rows,
+			"partitions": res.Stats.Partitions,
+		})
+	case "stream":
+		var res *core.StreamResult
+		var err error
+		if parts > 1 {
+			res, err = s.engine.QueryStreamAtParallel(sql, at, parts)
+		} else {
+			res, err = s.engine.QueryStreamAt(sql, at)
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		rows := make([]map[string]any, len(res.Rows))
+		for i, sr := range res.Rows {
+			rows[i] = encodeStreamRow(sr)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"schema": encodeSchema(res.Schema), "rows": rows,
+			"partitions": res.Stats.Partitions,
+		})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("mode must be table or stream"))
+	}
+}
+
+func encodeStreamRow(sr tvr.StreamRow) map[string]any {
+	return map[string]any{
+		"row": encodeRow(sr.Row), "undo": sr.Undo,
+		"ptime": int64(sr.Ptime), "ver": sr.Ver,
+	}
+}
+
+func encodeDelta(d live.Delta) map[string]any {
+	out := map[string]any{"type": "delta", "watermark": int64(d.Watermark)}
+	if d.Table != nil {
+		ins := make([][]any, len(d.Table.Inserted))
+		for i, r := range d.Table.Inserted {
+			ins[i] = encodeRow(r)
+		}
+		del := make([][]any, len(d.Table.Deleted))
+		for i, r := range d.Table.Deleted {
+			del[i] = encodeRow(r)
+		}
+		out["ptime"] = int64(d.Table.Ptime)
+		out["inserted"] = ins
+		out["deleted"] = del
+		return out
+	}
+	rows := make([]map[string]any, len(d.Stream))
+	for i, sr := range d.Stream {
+		rows[i] = encodeStreamRow(sr)
+	}
+	out["rows"] = rows
+	return out
+}
+
+// handleSubscribe opens a standing query and streams its deltas as ndjson
+// over a chunked response: first a schema line, then one line per delta,
+// then an end line when the subscription terminates. Client disconnect
+// cancels the standing query.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sql := q.Get("sql")
+	if sql == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql parameter"))
+		return
+	}
+	opts := core.SubscribeOptions{}
+	if v := q.Get("parts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad parts parameter: %w", err))
+			return
+		}
+		opts.Parts = n
+	}
+	if v := q.Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad buffer parameter: %w", err))
+			return
+		}
+		opts.Buffer = n
+	}
+	switch q.Get("policy") {
+	case "", "block":
+		opts.Policy = live.Block
+	case "drop":
+		opts.Policy = live.DropWithError
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("policy must be block or drop"))
+		return
+	}
+	mode := q.Get("mode")
+	var sub *live.Subscription
+	var err error
+	switch mode {
+	case "", "stream":
+		mode = "stream"
+		sub, err = s.engine.SubscribeStream(sql, opts)
+	case "table":
+		sub, err = s.engine.SubscribeTable(sql, opts)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("mode must be table or stream"))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entry := s.track(sql, mode, sub)
+	defer s.untrack(entry.id)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !writeLine(map[string]any{
+		"type": "schema", "id": entry.id, "mode": mode,
+		"columns": encodeSchema(sub.Schema()),
+	}) {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case d, ok := <-sub.Deltas():
+			if !ok {
+				end := map[string]any{"type": "end"}
+				if err := sub.Err(); err != nil {
+					end["error"] = err.Error()
+				}
+				writeLine(end)
+				return
+			}
+			if !writeLine(encodeDelta(d)) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) track(sql, mode string, sub *live.Subscription) *subEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	e := &subEntry{id: id, sql: sql, mode: mode, sub: sub}
+	s.subs[id] = e
+	return e
+}
+
+func (s *Server) untrack(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]*subEntry, 0, len(s.subs))
+	for _, e := range s.subs {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	out := make([]map[string]any, 0, len(entries))
+	for _, e := range entries {
+		st := e.sub.Stats()
+		out = append(out, map[string]any{
+			"id": e.id, "sql": e.sql, "mode": e.mode,
+			"eventsIn": st.EventsIn, "deltasOut": st.DeltasOut,
+			"rowsOut": st.RowsOut, "watermark": int64(st.Watermark),
+			"queueDepth": st.QueueDepth, "partitions": st.Partitions,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"subscriptions": out})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	e, ok := s.subs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no subscription %d", id))
+		return
+	}
+	e.sub.Cancel()
+	writeJSON(w, http.StatusOK, map[string]any{"canceled": id})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "liveSessions": s.engine.LiveSessions(),
+	})
+}

@@ -1,0 +1,269 @@
+package main
+
+// End-to-end tests for the HTTP front-end: register -> ingest -> subscribe
+// -> receive deltas over the chunked ndjson stream, without recompiling the
+// query per event, plus the one-shot query and stats endpoints.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(core.NewEngine()))
+	t.Cleanup(ts.Close)
+	return ts, ts.Client()
+}
+
+func postJSON(t *testing.T, c *http.Client, url string, body any) (int, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, c *http.Client, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// registerBid registers the Bid stream used by all tests.
+func registerBid(t *testing.T, c *http.Client, base string) {
+	t.Helper()
+	code, body := postJSON(t, c, base+"/v1/relations", registerJSON{
+		Name: "Bid",
+		Kind: "stream",
+		Schema: []columnJSON{
+			{Name: "auction", Type: "BIGINT"},
+			{Name: "price", Type: "BIGINT"},
+			{Name: "dateTime", Type: "TIMESTAMP", EventTime: true},
+		},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d body %v", code, body)
+	}
+}
+
+func ingestBids(t *testing.T, c *http.Client, base string, events []eventJSON) {
+	t.Helper()
+	code, body := postJSON(t, c, base+"/v1/relations/Bid/events", ingestJSON{Events: events})
+	if code != http.StatusOK {
+		t.Fatalf("ingest: status %d body %v", code, body)
+	}
+}
+
+func timeMS(ms int64) types.Time { return types.Time(ms) }
+
+// TestServeEndToEnd: the acceptance-path demo — register a relation, ingest
+// history, open a standing subscription, ingest more events, and watch the
+// deltas arrive on the chunked stream without per-event recompilation.
+func TestServeEndToEnd(t *testing.T) {
+	ts, c := newTestServer(t)
+	registerBid(t, c, ts.URL)
+
+	mkEvent := func(ptime, auction, price, et int64) eventJSON {
+		return eventJSON{Kind: "insert", Ptime: timeMS(ptime), Row: []any{auction, price, et}}
+	}
+	// History before the subscription exists.
+	ingestBids(t, c, ts.URL, []eventJSON{
+		mkEvent(1000, 1, 500, 1000),
+		mkEvent(2000, 2, 950, 2000),
+	})
+
+	// Open the standing query.
+	req, err := http.NewRequest("GET",
+		ts.URL+"/v1/subscribe?sql="+queryEscape(`SELECT auction, price FROM Bid WHERE price > 900`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("subscribe content type = %q", ct)
+	}
+	lines := make(chan map[string]any, 16)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var m map[string]any
+			if json.Unmarshal(sc.Bytes(), &m) == nil {
+				lines <- m
+			}
+		}
+	}()
+	readLine := func() map[string]any {
+		select {
+		case m, ok := <-lines:
+			if !ok {
+				t.Fatal("subscription stream ended early")
+			}
+			return m
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for a subscription line")
+			return nil
+		}
+	}
+
+	// First line: the schema header.
+	hdr := readLine()
+	if hdr["type"] != "schema" {
+		t.Fatalf("first line type = %v, want schema", hdr["type"])
+	}
+	// The history event with price 950 replays as the first delta.
+	d := readLine()
+	if d["type"] != "delta" {
+		t.Fatalf("second line type = %v, want delta", d["type"])
+	}
+	if got := deltaPrices(t, d); len(got) != 1 || got[0] != 950 {
+		t.Fatalf("history delta prices = %v, want [950]", got)
+	}
+
+	// Live events: one match, one filtered out, one match.
+	ingestBids(t, c, ts.URL, []eventJSON{mkEvent(3000, 3, 1200, 3000)})
+	ingestBids(t, c, ts.URL, []eventJSON{mkEvent(4000, 4, 100, 4000)})
+	ingestBids(t, c, ts.URL, []eventJSON{mkEvent(5000, 5, 2000, 5000)})
+	if got := deltaPrices(t, readLine()); len(got) != 1 || got[0] != 1200 {
+		t.Fatalf("live delta 1 prices = %v, want [1200]", got)
+	}
+	if got := deltaPrices(t, readLine()); len(got) != 1 || got[0] != 2000 {
+		t.Fatalf("live delta 2 prices = %v, want [2000]", got)
+	}
+
+	// Stats endpoint sees the subscription.
+	code, stats := getJSON(t, c, ts.URL+"/v1/subscriptions")
+	if code != http.StatusOK {
+		t.Fatalf("subscriptions: status %d", code)
+	}
+	subs := stats["subscriptions"].([]any)
+	if len(subs) != 1 {
+		t.Fatalf("%d subscriptions listed, want 1", len(subs))
+	}
+	entry := subs[0].(map[string]any)
+	if entry["deltasOut"].(float64) != 3 {
+		t.Fatalf("deltasOut = %v, want 3", entry["deltasOut"])
+	}
+	id := int(entry["id"].(float64))
+
+	// Cancel via the API: the stream ends.
+	delReq, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/subscriptions/%d", ts.URL, id), nil)
+	delResp, err := c.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	end := readLine()
+	if end["type"] != "end" {
+		t.Fatalf("end line = %v", end)
+	}
+	for range lines { // stream closes
+	}
+}
+
+// TestServeQueryAndHealth: one-shot queries and liveness.
+func TestServeQueryAndHealth(t *testing.T) {
+	ts, c := newTestServer(t)
+	registerBid(t, c, ts.URL)
+	ingestBids(t, c, ts.URL, []eventJSON{
+		{Kind: "insert", Ptime: timeMS(1000), Row: []any{1, 500, 1000}},
+		{Kind: "insert", Ptime: timeMS(2000), Row: []any{1, 700, 2000}},
+		{Kind: "watermark", Ptime: timeMS(3000), Wm: timeMS(2500)},
+	})
+	code, res := getJSON(t, c, ts.URL+"/v1/query?sql="+queryEscape(
+		`SELECT auction, price FROM Bid WHERE price > 600`))
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d body %v", code, res)
+	}
+	rows := res["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v, want one", rows)
+	}
+	row := rows[0].([]any)
+	if row[0].(float64) != 1 || row[1].(float64) != 700 {
+		t.Fatalf("row = %v, want [1 700]", row)
+	}
+	// Unknown SQL errors cleanly.
+	code, res = getJSON(t, c, ts.URL+"/v1/query?sql="+queryEscape(`SELECT nope FROM Missing`))
+	if code != http.StatusBadRequest || res["error"] == "" {
+		t.Fatalf("bad query: status %d body %v", code, res)
+	}
+	code, res = getJSON(t, c, ts.URL+"/v1/healthz")
+	if code != http.StatusOK || res["ok"] != true {
+		t.Fatalf("healthz: status %d body %v", code, res)
+	}
+}
+
+// TestServeIngestAtomicity: a batch with a mid-log error applies nothing.
+func TestServeIngestAtomicity(t *testing.T) {
+	ts, c := newTestServer(t)
+	registerBid(t, c, ts.URL)
+	code, _ := postJSON(t, c, ts.URL+"/v1/relations/Bid/events", ingestJSON{Events: []eventJSON{
+		{Kind: "insert", Ptime: timeMS(2000), Row: []any{1, 500, 2000}},
+		{Kind: "insert", Ptime: timeMS(1000), Row: []any{2, 600, 1000}}, // ptime regression
+	}})
+	if code != http.StatusConflict {
+		t.Fatalf("status = %d, want conflict", code)
+	}
+	code, res := getJSON(t, c, ts.URL+"/v1/query?sql="+queryEscape(`SELECT auction FROM Bid`))
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if rows := res["rows"].([]any); len(rows) != 0 {
+		t.Fatalf("rows after failed batch = %v, want none (atomicity)", rows)
+	}
+}
+
+func deltaPrices(t *testing.T, d map[string]any) []int64 {
+	t.Helper()
+	rows, ok := d["rows"].([]any)
+	if !ok {
+		t.Fatalf("delta has no rows: %v", d)
+	}
+	var out []int64
+	for _, r := range rows {
+		row := r.(map[string]any)["row"].([]any)
+		out = append(out, int64(row[1].(float64)))
+	}
+	return out
+}
+
+func queryEscape(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, " ", "+"), ">", "%3E")
+}

@@ -88,6 +88,96 @@ func (r *Record) WriteFile(path string) error {
 	return nil
 }
 
+// LiveResult is one standing-query subscription measurement: steady-state
+// ingest throughput and the distribution of per-delta delivery latency
+// (ingest call start to delta receipt).
+type LiveResult struct {
+	// Query is the standing query's short description.
+	Query string `json:"query"`
+	// Mode is the delta rendering ("stream" or "table").
+	Mode string `json:"mode"`
+	// Partitions is the standing pipeline's parallelism (1 = serial).
+	Partitions int `json:"partitions"`
+	// Events is the number of source events ingested while subscribed.
+	Events int `json:"events"`
+	// Deltas / Rows count deliveries and output rows received.
+	Deltas int64 `json:"deltas"`
+	Rows   int64 `json:"rows"`
+	// IngestNs is the total wall-clock time spent ingesting.
+	IngestNs int64 `json:"ingest_ns"`
+	// EventsPerSec is the steady-state ingest throughput with the
+	// subscription attached.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Latency percentiles over per-delta delivery latencies.
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP95Ns int64 `json:"latency_p95_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	LatencyMaxNs int64 `json:"latency_max_ns"`
+}
+
+// LiveRecord is a full standing-query benchmark run.
+type LiveRecord struct {
+	Benchmark     string       `json:"benchmark"`
+	Timestamp     string       `json:"timestamp"`
+	GoVersion     string       `json:"go_version"`
+	GoMaxProcs    int          `json:"gomaxprocs"`
+	NumCPU        int          `json:"num_cpu"`
+	ShortMode     bool         `json:"short_mode"`
+	Subscriptions []LiveResult `json:"subscriptions"`
+}
+
+// NewLive creates a live record stamped with the current environment.
+func NewLive(name string, short bool) *LiveRecord {
+	return &LiveRecord{
+		Benchmark:  name,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		ShortMode:  short,
+	}
+}
+
+// Add appends one subscription measurement, deriving the throughput field.
+func (r *LiveRecord) Add(q LiveResult) {
+	if q.IngestNs > 0 {
+		q.EventsPerSec = float64(q.Events) / (float64(q.IngestNs) / 1e9)
+	}
+	r.Subscriptions = append(r.Subscriptions, q)
+}
+
+// WriteFile writes the live record as indented JSON.
+func (r *LiveRecord) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// PercentileNs returns the p-th percentile (0 < p <= 1) of the samples using
+// the nearest-rank method. The input is not modified.
+func PercentileNs(samples []int64, p float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
 // MedianNs times fn over runs executions and returns the median wall-clock
 // nanoseconds. The median (rather than the minimum or mean) keeps one-off
 // scheduler hiccups from dominating small benchmark runs.

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/exec"
+	"repro/internal/live"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -27,10 +28,18 @@ import (
 
 // Engine is a catalog of registered relations and the query interface over
 // them. It is safe for concurrent use.
+//
+// Besides the one-shot query paths, the engine hosts standing queries: a
+// subscription compiles and plans its SQL once, replays the recorded
+// history, and from then on receives every ingested change incrementally
+// (see SubscribeStream/SubscribeTable). All catalog mutations funnel through
+// the live manager's ordering lock so standing queries observe changes in
+// commit order.
 type Engine struct {
 	mu   sync.RWMutex
 	rels map[string]*relation
 	cfg  plan.Config
+	live *live.Manager
 }
 
 type relation struct {
@@ -51,7 +60,7 @@ func WithUnboundedGroupBy() Option {
 
 // NewEngine creates an empty engine.
 func NewEngine(opts ...Option) *Engine {
-	e := &Engine{rels: make(map[string]*relation)}
+	e := &Engine{rels: make(map[string]*relation), live: live.NewManager()}
 	for _, o := range opts {
 		o(e)
 	}
@@ -105,49 +114,71 @@ func (e *Engine) AdvanceWatermark(name string, ptime types.Time, wm types.Time) 
 	return e.append(name, tvr.WatermarkEvent(ptime, wm))
 }
 
-// AppendLog appends a pre-built changelog (validated) to the relation.
+// AppendLog appends a pre-built changelog to the relation atomically: the
+// whole log is validated against the relation's current state under a single
+// lock acquisition before any event is applied, so a mid-log validation
+// error leaves the relation untouched rather than half-appended.
 func (e *Engine) AppendLog(name string, log tvr.Changelog) error {
-	for _, ev := range log {
-		if err := e.append(name, ev); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.live.Publish(func() error { return e.applyLog(name, log) }, name, log)
 }
 
+// append records one change and routes it to matching standing queries. The
+// live manager's ordering lock brackets the commit and the fan-out, so every
+// subscription observes changes in commit order.
 func (e *Engine) append(name string, ev tvr.Event) error {
+	log := tvr.Changelog{ev}
+	return e.live.Publish(func() error { return e.applyLog(name, log) }, name, log)
+}
+
+// applyLog validates the whole log against the relation's current cursors,
+// then applies it, all under one catalog lock acquisition.
+func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rel, ok := e.rels[strings.ToLower(name)]
 	if !ok {
 		return fmt.Errorf("core: relation %q not registered", name)
 	}
-	if ev.Ptime < rel.lastPtime {
-		return fmt.Errorf("core: %s: ptime %s regresses from %s", name, ev.Ptime, rel.lastPtime)
+	lastPtime, lastWM := rel.lastPtime, rel.lastWM
+	for _, ev := range log {
+		var err error
+		lastPtime, lastWM, err = validateEvent(name, &rel.meta, ev, lastPtime, lastWM)
+		if err != nil {
+			return err
+		}
+	}
+	rel.lastPtime, rel.lastWM = lastPtime, lastWM
+	rel.log = append(rel.log, log...)
+	return nil
+}
+
+// validateEvent checks one event against the relation schema and the running
+// monotonicity cursors, returning the advanced cursors.
+func validateEvent(name string, meta *plan.Relation, ev tvr.Event, lastPtime, lastWM types.Time) (types.Time, types.Time, error) {
+	if ev.Ptime < lastPtime {
+		return 0, 0, fmt.Errorf("core: %s: ptime %s regresses from %s", name, ev.Ptime, lastPtime)
 	}
 	switch ev.Kind {
 	case tvr.Insert, tvr.Delete:
-		if len(ev.Row) != rel.meta.Schema.Len() {
-			return fmt.Errorf("core: %s: row has %d columns, schema has %d", name, len(ev.Row), rel.meta.Schema.Len())
+		if len(ev.Row) != meta.Schema.Len() {
+			return 0, 0, fmt.Errorf("core: %s: row has %d columns, schema has %d", name, len(ev.Row), meta.Schema.Len())
 		}
-		for i, c := range rel.meta.Schema.Cols {
+		for i, c := range meta.Schema.Cols {
 			v := ev.Row[i]
 			if !v.IsNull() && v.Kind() != c.Kind {
 				if v.Kind().IsNumeric() && c.Kind.IsNumeric() {
 					continue
 				}
-				return fmt.Errorf("core: %s: column %s expects %s, got %s", name, c.Name, c.Kind, v.Kind())
+				return 0, 0, fmt.Errorf("core: %s: column %s expects %s, got %s", name, c.Name, c.Kind, v.Kind())
 			}
 		}
 	case tvr.Watermark:
-		if ev.Wm < rel.lastWM {
-			return fmt.Errorf("core: %s: watermark %s regresses from %s", name, ev.Wm, rel.lastWM)
+		if ev.Wm < lastWM {
+			return 0, 0, fmt.Errorf("core: %s: watermark %s regresses from %s", name, ev.Wm, lastWM)
 		}
-		rel.lastWM = ev.Wm
+		lastWM = ev.Wm
 	}
-	rel.lastPtime = ev.Ptime
-	rel.log = append(rel.log, ev)
-	return nil
+	return ev.Ptime, lastWM, nil
 }
 
 // Resolve implements plan.Catalog.
@@ -361,23 +392,38 @@ func (e *Engine) runWith(sql string, at types.Time, parts int) (*exec.Result, ex
 	return res, pipe.Stats(), nil
 }
 
-// sources collects the recorded changelog of every relation the plan scans.
-func (e *Engine) sources(root plan.Node) ([]exec.Source, error) {
-	names := map[string]bool{}
+// scanNames lists the distinct (lower-cased, sorted) relations a plan scans.
+func scanNames(root plan.Node) []string {
+	set := map[string]bool{}
 	var walk func(n plan.Node)
 	walk = func(n plan.Node) {
 		if s, ok := n.(*plan.Scan); ok {
-			names[strings.ToLower(s.Name)] = true
+			set[strings.ToLower(s.Name)] = true
 		}
 		for _, c := range n.Children() {
 			walk(c)
 		}
 	}
 	walk(root)
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sources collects the recorded changelog of every relation the plan scans.
+func (e *Engine) sources(root plan.Node) ([]exec.Source, error) {
+	return e.sourcesByName(scanNames(root))
+}
+
+// sourcesByName snapshots the recorded changelogs of the named relations.
+func (e *Engine) sourcesByName(names []string) ([]exec.Source, error) {
 	var out []exec.Source
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	for name := range names {
+	for _, name := range names {
 		rel, ok := e.rels[name]
 		if !ok {
 			return nil, fmt.Errorf("core: relation %q not found", name)
@@ -386,6 +432,5 @@ func (e *Engine) sources(root plan.Node) ([]exec.Source, error) {
 		copy(log, rel.log)
 		out = append(out, exec.Source{Name: name, Log: log})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }

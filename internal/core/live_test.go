@@ -1,0 +1,388 @@
+package core_test
+
+// End-to-end tests for the standing-query subsystem: a live EMIT STREAM
+// subscription fed event by event must observe exactly the delta sequence a
+// post-hoc QueryStream replay of the same changelog produces — on both the
+// serial and key-partitioned executors, including late data and
+// watermark-driven EMIT — and table subscriptions' consolidated diffs must
+// reconstruct the QueryTable snapshot.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/nexmark"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// liveBidQuery is a NEXMark-shaped standing query over the Bid stream:
+// per-auction windowed MAX with watermark-driven EMIT, so deltas are
+// produced by group completion and late bids are dropped. Grouping by the
+// scan-backed auction column keeps the plan hash-partitionable, so the
+// parts>1 variants genuinely exercise the partitioned standing pipeline.
+const liveBidQuery = `
+SELECT TB.auction auction, TB.wstart wstart, TB.wend wend, MAX(TB.price) maxPrice
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.auction, TB.wstart, TB.wend
+EMIT STREAM AFTER WATERMARK`
+
+// liveData generates a NEXMark dataset with enough out-of-orderness that
+// some bids arrive behind the watermark (late data).
+func liveData(t testing.TB) *nexmark.Generated {
+	t.Helper()
+	return nexmark.Generate(nexmark.GeneratorConfig{
+		Seed: 9, NumEvents: 1200, MaxOutOfOrderness: 2 * types.Second,
+		WatermarkInterval: 5 * types.Second,
+	})
+}
+
+// newBidEngine registers just the Bid stream.
+func newBidEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	e := core.NewEngine()
+	if err := e.RegisterStream("Bid", nexmark.BidFullSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// ingestEvent routes one recorded changelog event through the engine's
+// public ingestion API.
+func ingestEvent(t testing.TB, e *core.Engine, name string, ev tvr.Event) {
+	t.Helper()
+	var err error
+	switch ev.Kind {
+	case tvr.Insert:
+		err = e.Insert(name, ev.Ptime, ev.Row)
+	case tvr.Delete:
+		err = e.Delete(name, ev.Ptime, ev.Row)
+	case tvr.Watermark:
+		err = e.AdvanceWatermark(name, ev.Ptime, ev.Wm)
+	default:
+		t.Fatalf("unexpected event kind %s", ev.Kind)
+	}
+	if err != nil {
+		t.Fatalf("ingest %s: %v", ev, err)
+	}
+}
+
+// collectStream drains every delta (delivered plus final) into one sequence.
+func collectStream(sub *live.Subscription, final *live.Delta) []tvr.StreamRow {
+	var rows []tvr.StreamRow
+	for d := range sub.Deltas() {
+		rows = append(rows, d.Stream...)
+	}
+	if final != nil {
+		rows = append(rows, final.Stream...)
+	}
+	return rows
+}
+
+// TestLiveStreamMatchesReplay is the subsystem's core guarantee: subscribe,
+// ingest the changelog event by event (half of it before subscribing, to
+// exercise the history-replay handoff), close, and the concatenated delta
+// sequence is byte-identical to QueryStream replay over the full log.
+func TestLiveStreamMatchesReplay(t *testing.T) {
+	g := liveData(t)
+	for _, parts := range []int{1, 4} {
+		parts := parts
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			// Replay rendering of the full recorded changelog.
+			replayEngine := newBidEngine(t)
+			if err := replayEngine.AppendLog("Bid", g.Bids); err != nil {
+				t.Fatal(err)
+			}
+			var want *core.StreamResult
+			var err error
+			if parts > 1 {
+				want, err = replayEngine.QueryStreamParallel(liveBidQuery, parts)
+			} else {
+				want, err = replayEngine.QueryStream(liveBidQuery)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Live: ingest the first half as history, subscribe, then feed
+			// the second half event by event.
+			liveEngine := newBidEngine(t)
+			half := len(g.Bids) / 2
+			if err := liveEngine.AppendLog("Bid", g.Bids[:half]); err != nil {
+				t.Fatal(err)
+			}
+			sub, err := liveEngine.SubscribeStream(liveBidQuery, core.SubscribeOptions{
+				Parts: parts, Buffer: len(g.Bids) + 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range g.Bids[half:] {
+				ingestEvent(t, liveEngine, "Bid", ev)
+			}
+			st := sub.Stats()
+			if st.EventsIn != int64(len(g.Bids)) {
+				t.Errorf("EventsIn = %d, want %d", st.EventsIn, len(g.Bids))
+			}
+			wantParts := parts
+			if wantParts < 1 {
+				wantParts = 1
+			}
+			if st.Partitions != wantParts {
+				t.Errorf("Partitions = %d, want %d", st.Partitions, wantParts)
+			}
+			final, err := sub.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collectStream(sub, final)
+
+			gotStr := tvr.FormatStreamTable(sub.Schema(), got)
+			wantStr := tvr.FormatStreamTable(want.Schema, want.Rows)
+			if gotStr != wantStr {
+				t.Fatalf("live delta sequence differs from replay:\nlive (%d rows):\n%s\nreplay (%d rows):\n%s",
+					len(got), truncate(gotStr), len(want.Rows), truncate(wantStr))
+			}
+			if len(got) == 0 {
+				t.Fatal("no deltas delivered; test is vacuous")
+			}
+			if sub.Err() != nil {
+				t.Errorf("Err after graceful close = %v", sub.Err())
+			}
+			if liveEngine.LiveSessions() != 0 {
+				t.Errorf("%d sessions still registered after close", liveEngine.LiveSessions())
+			}
+		})
+	}
+}
+
+// TestLiveStreamLateData pins down the late-data behaviour rather than
+// relying on the generator: a bid behind the watermark must not produce a
+// delta, matching replay exactly.
+func TestLiveStreamLateData(t *testing.T) {
+	sec := func(n int64) types.Time { return types.Time(n) * types.Time(types.Second) }
+	bid := func(auction, bidder, price int64, et types.Time) types.Row {
+		return types.Row{
+			types.NewInt(auction), types.NewInt(bidder), types.NewInt(price),
+			types.NewTimestamp(et),
+		}
+	}
+	log := tvr.Changelog{
+		tvr.InsertEvent(sec(1), bid(1, 1, 10, sec(2))),
+		tvr.InsertEvent(sec(2), bid(1, 2, 30, sec(8))),
+		// Watermark passes the first window [0s,10s).
+		tvr.WatermarkEvent(sec(12), sec(11)),
+		// Late: event time inside the already-complete first window.
+		tvr.InsertEvent(sec(13), bid(1, 3, 99, sec(4))),
+		tvr.InsertEvent(sec(14), bid(1, 4, 25, sec(15))),
+		tvr.WatermarkEvent(sec(22), sec(21)),
+	}
+	replayEngine := newBidEngine(t)
+	if err := replayEngine.AppendLog("Bid", log); err != nil {
+		t.Fatal(err)
+	}
+	want, err := replayEngine.QueryStream(liveBidQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveEngine := newBidEngine(t)
+	sub, err := liveEngine.SubscribeStream(liveBidQuery, core.SubscribeOptions{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range log {
+		ingestEvent(t, liveEngine, "Bid", ev)
+	}
+	final, err := sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectStream(sub, final)
+	gotStr := tvr.FormatStreamTable(sub.Schema(), got)
+	wantStr := tvr.FormatStreamTable(want.Schema, want.Rows)
+	if gotStr != wantStr {
+		t.Fatalf("live differs from replay:\nlive:\n%s\nreplay:\n%s", gotStr, wantStr)
+	}
+	// The late bid (price 99) must not appear anywhere.
+	for _, r := range got {
+		if r.Row[2].Int() == 99 {
+			t.Fatalf("late bid leaked into output: %s", r)
+		}
+	}
+	// Exactly the two completed windows materialized.
+	if len(got) != 2 {
+		t.Fatalf("got %d rows, want 2:\n%s", len(got), gotStr)
+	}
+}
+
+// TestLiveTableDiffs: a TABLE subscription's consolidated diffs reconstruct
+// the QueryTable snapshot.
+func TestLiveTableDiffs(t *testing.T) {
+	g := liveData(t)
+	sql := `SELECT auction, price FROM Bid WHERE MOD(auction, 3) = 0`
+
+	replayEngine := newBidEngine(t)
+	if err := replayEngine.AppendLog("Bid", g.Bids); err != nil {
+		t.Fatal(err)
+	}
+	want, err := replayEngine.QueryTable(sql, types.MaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveEngine := newBidEngine(t)
+	sub, err := liveEngine.SubscribeTable(sql, core.SubscribeOptions{Buffer: len(g.Bids) + 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range g.Bids {
+		ingestEvent(t, liveEngine, "Bid", ev)
+	}
+	final, err := sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the snapshot from the diffs.
+	rel := tvr.NewRelation()
+	apply := func(d *live.TableDiff) {
+		for _, r := range d.Inserted {
+			rel.Insert(r)
+		}
+		for _, r := range d.Deleted {
+			if err := rel.Delete(r); err != nil {
+				t.Fatalf("diff deletes absent row %s: %v", r, err)
+			}
+		}
+	}
+	n := 0
+	for d := range sub.Deltas() {
+		if d.Table == nil {
+			t.Fatal("table subscription delivered a nil Table diff")
+		}
+		apply(d.Table)
+		n++
+	}
+	if final != nil {
+		apply(final.Table)
+	}
+	if n == 0 {
+		t.Fatal("no diffs delivered; test is vacuous")
+	}
+	got := tvr.FormatRelationTable(want.Schema, rel.Rows())
+	wantStr := tvr.FormatRelationTable(want.Schema, want.Rows)
+	if got != wantStr {
+		t.Fatalf("reconstructed snapshot differs:\ngot:\n%s\nwant:\n%s", truncate(got), truncate(wantStr))
+	}
+}
+
+// TestSubscribeTableRejectsOrderBy: a diff stream cannot maintain
+// presentation order, so table subscriptions refuse ORDER BY/LIMIT rather
+// than silently diverging from QueryTable.
+func TestSubscribeTableRejectsOrderBy(t *testing.T) {
+	e := newBidEngine(t)
+	if _, err := e.SubscribeTable(`SELECT auction, price FROM Bid ORDER BY price LIMIT 5`,
+		core.SubscribeOptions{}); err == nil {
+		t.Fatal("expected ORDER BY/LIMIT rejection for table subscription")
+	}
+	// The stream rendering ignores presentation order, as QueryStream does.
+	sub, err := e.SubscribeStream(`SELECT auction, price FROM Bid ORDER BY price LIMIT 5`,
+		core.SubscribeOptions{})
+	if err != nil {
+		t.Fatalf("stream subscription should ignore ORDER BY: %v", err)
+	}
+	sub.Cancel()
+}
+
+// TestLiveAppendLogAtomic: a changelog with a mid-log validation error must
+// leave the relation untouched (satellite: atomic AppendLog).
+func TestLiveAppendLogAtomic(t *testing.T) {
+	e := newBidEngine(t)
+	good := tvr.InsertEvent(1, types.Row{
+		types.NewInt(1), types.NewInt(1), types.NewInt(5), types.NewTimestamp(1),
+	})
+	if err := e.AppendLog("Bid", tvr.Changelog{good}); err != nil {
+		t.Fatal(err)
+	}
+	bad := tvr.Changelog{
+		tvr.InsertEvent(2, types.Row{
+			types.NewInt(2), types.NewInt(2), types.NewInt(6), types.NewTimestamp(2),
+		}),
+		// ptime regression: invalid.
+		tvr.InsertEvent(1, types.Row{
+			types.NewInt(3), types.NewInt(3), types.NewInt(7), types.NewTimestamp(3),
+		}),
+	}
+	if err := e.AppendLog("Bid", bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	log, err := e.Log("Bid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 {
+		t.Fatalf("relation has %d events after failed append, want 1 (atomicity violated)", len(log))
+	}
+	// The relation must still accept valid appends from its pre-failure
+	// cursor state.
+	if err := e.Insert("Bid", 2, types.Row{
+		types.NewInt(2), types.NewInt(2), types.NewInt(6), types.NewTimestamp(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveHeartbeat: EMIT AFTER DELAY standing queries materialize when the
+// engine's processing-time clock advances via Heartbeat.
+func TestLiveHeartbeat(t *testing.T) {
+	sql := `
+SELECT TB.wstart wstart, TB.wend wend, MAX(TB.price) maxPrice
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.wstart, TB.wend
+EMIT STREAM AFTER DELAY INTERVAL '5' SECONDS`
+	e := newBidEngine(t)
+	sub, err := e.SubscribeStream(sql, core.SubscribeOptions{Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := func(n int64) types.Time { return types.Time(n) * types.Time(types.Second) }
+	row := types.Row{types.NewInt(1), types.NewInt(1), types.NewInt(10), types.NewTimestamp(sec(2))}
+	if err := e.Insert("Bid", sec(1), row); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-sub.Deltas():
+		t.Fatalf("delta before the delay elapsed: %+v", d)
+	default:
+	}
+	// Advance processing time past the 6s deadline: the timer fires.
+	e.Heartbeat(sec(10))
+	select {
+	case d := <-sub.Deltas():
+		if len(d.Stream) != 1 || d.Stream[0].Row[2].Int() != 10 {
+			t.Fatalf("unexpected delta: %+v", d)
+		}
+	default:
+		t.Fatal("no delta after heartbeat fired the delay timer")
+	}
+	sub.Cancel()
+	if sub.Err() != live.ErrClosed {
+		t.Errorf("Err after cancel = %v, want ErrClosed", sub.Err())
+	}
+	if e.LiveSessions() != 0 {
+		t.Errorf("%d sessions after cancel, want 0", e.LiveSessions())
+	}
+}
+
+// truncate keeps failure output readable for large renderings.
+func truncate(s string) string {
+	const max = 4000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("\n... (%d bytes truncated)", len(s)-max)
+}

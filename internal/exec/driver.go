@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Driver is the incremental execution lifecycle shared by the serial and
+// key-partitioned pipelines. A driver is compiled once and then kept
+// resident: Start opens the operators, Feed pushes batches of new source
+// events through the same deterministic k-way ptime merge the one-shot Run
+// uses, Advance moves the processing-time clock (firing EMIT AFTER DELAY
+// timers), and Close completes the input. Drain hands back output deltas as
+// they materialize — the primitive the standing-query subsystem
+// (internal/live) is built on.
+//
+// Determinism contract: feeding a set of source changelogs through any
+// sequence of Feed batches whose concatenated delivery order equals the
+// one-shot merge order (always true when batches are split along the ptime
+// axis) produces byte-identical output to a single Run over the same logs.
+type Driver interface {
+	// Start opens the pipeline's operators.
+	Start() error
+	// Feed merges and pushes a batch of new per-source events. Sources
+	// with no new events may be omitted from the batch.
+	Feed(batch []Source) error
+	// Advance moves the processing-time clock to pt (a heartbeat).
+	Advance(pt types.Time) error
+	// Close signals end-of-input and returns the final result.
+	Close() (*Result, error)
+	// Drain returns output events materialized since the previous Drain.
+	Drain() tvr.Changelog
+	// OutputWatermark is the output relation's current watermark.
+	OutputWatermark() types.Time
+	// Stats reports the pipeline's execution statistics.
+	Stats() Stats
+}
+
+var (
+	_ Driver = (*Pipeline)(nil)
+	_ Driver = (*PartitionedPipeline)(nil)
+)
+
+// forEachMerged merges the batch's per-source changelogs into one
+// ptime-ordered delivery sequence — ties broken by scan registration order,
+// the same tie-break both drivers' one-shot Run uses — and invokes deliver
+// for each event. Events with ptime beyond upTo are discarded. With
+// requireAll set, every scanned source must appear in the batch (the Run
+// contract); otherwise absent sources simply contribute no events.
+func forEachMerged(batch []Source, scanOrder []string, upTo types.Time, requireAll bool, deliver func(name string, ev tvr.Event) error) error {
+	bySource := make(map[string]tvr.Changelog, len(batch))
+	for _, s := range batch {
+		bySource[lowered(s.Name)] = s.Log
+	}
+	type cursor struct {
+		name string
+		log  tvr.Changelog
+		pos  int
+	}
+	var cursors []*cursor
+	for _, name := range scanOrder {
+		log, ok := bySource[name]
+		if !ok {
+			if requireAll {
+				return fmt.Errorf("exec: no source data for relation %q", name)
+			}
+			continue
+		}
+		cursors = append(cursors, &cursor{name: name, log: log})
+	}
+	for {
+		best := -1
+		for i, c := range cursors {
+			for c.pos < len(c.log) && c.log[c.pos].Ptime > upTo {
+				c.pos = len(c.log) // discard tail beyond the horizon
+			}
+			if c.pos >= len(c.log) {
+				continue
+			}
+			if best < 0 || c.log[c.pos].Ptime < cursors[best].log[cursors[best].pos].Ptime {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		c := cursors[best]
+		ev := c.log[c.pos]
+		c.pos++
+		if err := deliver(c.name, ev); err != nil {
+			return err
+		}
+	}
+}

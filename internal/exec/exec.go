@@ -62,6 +62,13 @@ type Stats struct {
 }
 
 // Pipeline is a compiled, runnable query.
+//
+// A pipeline has two interchangeable driving styles. Run replays recorded
+// changelogs in one shot. The incremental lifecycle — Start, any number of
+// Feed/Advance calls, then Close — keeps the pipeline resident so a standing
+// query can be fed new events as they arrive; Drain hands back the output
+// deltas materialized so far. Any Feed-batch split of the same delivery
+// sequence produces byte-identical output to a one-shot Run.
 type Pipeline struct {
 	collector *Collector
 	scans     map[string][]*scanOp // lower-cased source name -> scan operators
@@ -69,6 +76,7 @@ type Pipeline struct {
 	scanBind  []scanBinding        // scan operator -> plan node, in build order
 	allOps    []sink               // in build (parent-before-child) order
 	opened    bool
+	closed    bool
 }
 
 // scanBinding ties a compiled scan operator back to its plan node, so the
@@ -200,80 +208,99 @@ func (p *Pipeline) build(n plan.Node, out sink) error {
 // Run feeds the sources through the pipeline. Events with ptime greater than
 // upTo are excluded (pass types.MaxTime to consume everything); a heartbeat
 // at upTo fires any pending processing-time timers, and Finish flushes the
-// rest. Run may be called once per compiled pipeline.
+// rest. Run may be called once per compiled pipeline and cannot be mixed
+// with the incremental lifecycle.
 func (p *Pipeline) Run(sources []Source, upTo types.Time) (*Result, error) {
 	if p.opened {
 		return nil, fmt.Errorf("exec: pipeline already ran")
 	}
-	p.opened = true
-	// Open operators parent-first so that open-time emissions (constant
-	// relations, empty global aggregates) flow into already-open sinks.
-	for _, op := range p.allOps {
-		if o, ok := op.(opener); ok {
-			if err := o.Open(); err != nil {
-				return nil, err
-			}
-		}
+	if err := p.Start(); err != nil {
+		return nil, err
 	}
-
-	bySource := make(map[string]tvr.Changelog, len(sources))
-	for _, s := range sources {
-		bySource[lowered(s.Name)] = s.Log
+	if err := p.feed(sources, upTo, true); err != nil {
+		return nil, err
 	}
-	type cursor struct {
-		name string
-		log  tvr.Changelog
-		pos  int
-	}
-	var cursors []*cursor
-	for _, name := range p.scanOrder {
-		log, ok := bySource[name]
-		if !ok {
-			return nil, fmt.Errorf("exec: no source data for relation %q", name)
-		}
-		cursors = append(cursors, &cursor{name: name, log: log})
-	}
-
-	// K-way merge by ptime; ties broken by source registration order
-	// (cursor index), which keeps runs deterministic.
-	for {
-		best := -1
-		for i, c := range cursors {
-			for c.pos < len(c.log) && c.log[c.pos].Ptime > upTo {
-				c.pos = len(c.log) // discard tail beyond the horizon
-			}
-			if c.pos >= len(c.log) {
-				continue
-			}
-			if best < 0 || c.log[c.pos].Ptime < cursors[best].log[cursors[best].pos].Ptime {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		c := cursors[best]
-		ev := c.log[c.pos]
-		c.pos++
-		for _, s := range p.scans[c.name] {
-			if err := s.Push(ev); err != nil {
-				return nil, err
-			}
-		}
-	}
-
 	// Advance the processing-time clock to the query horizon so that
 	// delay timers due by now fire, then finish every scan.
 	if upTo != types.MaxTime {
-		hb := tvr.HeartbeatEvent(upTo)
-		for _, name := range p.scanOrder {
-			for _, s := range p.scans[name] {
-				if err := s.Push(hb); err != nil {
-					return nil, err
-				}
+		if err := p.Advance(upTo); err != nil {
+			return nil, err
+		}
+	}
+	return p.Close()
+}
+
+// Start opens every operator, making the pipeline ready for incremental
+// Feed/Advance calls. Open runs parent-first so that open-time emissions
+// (constant relations, empty global aggregates) flow into already-open
+// sinks.
+func (p *Pipeline) Start() error {
+	if p.opened {
+		return fmt.Errorf("exec: pipeline already started")
+	}
+	p.opened = true
+	for _, op := range p.allOps {
+		if o, ok := op.(opener); ok {
+			if err := o.Open(); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+// Feed merges the batch's per-source events into one ptime-ordered delivery
+// sequence (ties broken by scan registration order, exactly as Run orders
+// them) and pushes it through the scans. Sources with no new events may be
+// omitted; operator state persists across calls, so feeding a changelog in
+// any number of order-respecting batches is byte-identical to feeding it in
+// one.
+func (p *Pipeline) Feed(batch []Source) error {
+	return p.feed(batch, types.MaxTime, false)
+}
+
+func (p *Pipeline) feed(batch []Source, upTo types.Time, requireAll bool) error {
+	if !p.opened || p.closed {
+		return fmt.Errorf("exec: pipeline not accepting input")
+	}
+	return forEachMerged(batch, p.scanOrder, upTo, requireAll, func(name string, ev tvr.Event) error {
+		for _, s := range p.scans[name] {
+			if err := s.Push(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Advance moves the processing-time clock to pt by pushing a heartbeat into
+// every scan, firing any processing-time timers (EMIT AFTER DELAY) due by
+// then. The relation contents are unchanged.
+func (p *Pipeline) Advance(pt types.Time) error {
+	if !p.opened || p.closed {
+		return fmt.Errorf("exec: pipeline not accepting input")
+	}
+	hb := tvr.HeartbeatEvent(pt)
+	for _, name := range p.scanOrder {
+		for _, s := range p.scans[name] {
+			if err := s.Push(hb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close signals end-of-input on every scan (completing bounded relations and
+// flushing pending timers) and returns the materialized result.
+func (p *Pipeline) Close() (*Result, error) {
+	if !p.opened {
+		return nil, fmt.Errorf("exec: pipeline not started")
+	}
+	if p.closed {
+		return nil, fmt.Errorf("exec: pipeline already closed")
+	}
+	p.closed = true
 	for _, name := range p.scanOrder {
 		for _, s := range p.scans[name] {
 			if err := s.Finish(); err != nil {
@@ -283,6 +310,14 @@ func (p *Pipeline) Run(sources []Source, upTo types.Time) (*Result, error) {
 	}
 	return p.collector.result()
 }
+
+// Drain returns the output changelog events materialized since the previous
+// Drain (or since Start), in emission order.
+func (p *Pipeline) Drain() tvr.Changelog { return p.collector.drain() }
+
+// OutputWatermark reports the output relation's current watermark: the
+// completeness assertion that has propagated through the plan to the root.
+func (p *Pipeline) OutputWatermark() types.Time { return p.collector.watermark() }
 
 // Stats walks the pipeline collecting operator statistics.
 func (p *Pipeline) Stats() Stats {
@@ -363,6 +398,8 @@ type Collector struct {
 	orderBy []plan.SortKey
 	limit   *int64
 	outN    int
+	drained int
+	wm      types.Time
 	err     error
 }
 
@@ -373,6 +410,7 @@ func newCollector(pq *plan.PlannedQuery) *Collector {
 		keys:    pq.EmitKeyIdxs,
 		orderBy: pq.OrderBy,
 		limit:   pq.Limit,
+		wm:      types.MinTime,
 	}
 }
 
@@ -393,9 +431,23 @@ func (c *Collector) PushKeyed(ev tvr.Event, key string) error {
 		}
 		c.log = append(c.log, ev)
 		c.outN++
+	case tvr.Watermark:
+		if ev.Wm > c.wm {
+			c.wm = ev.Wm
+		}
 	}
 	return nil
 }
+
+// drain returns the output events appended since the previous drain. The
+// three-index slice keeps later appends from aliasing into the caller's view.
+func (c *Collector) drain() tvr.Changelog {
+	out := c.log[c.drained:len(c.log):len(c.log)]
+	c.drained = len(c.log)
+	return out
+}
+
+func (c *Collector) watermark() types.Time { return c.wm }
 
 // Finish implements sink.
 func (c *Collector) Finish() error { return nil }

@@ -1,0 +1,334 @@
+package exec_test
+
+// Property tests for the incremental Start/Feed/Advance/Close lifecycle: any
+// split of the source changelogs into Feed batches along the ptime axis must
+// produce byte-identical output to a single one-shot Run — on both the
+// serial and the key-partitioned pipelines. This is the invariant the
+// standing-query subsystem (internal/live) relies on.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/nexmark"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// lifecycleEngine loads a small deterministic NEXMark dataset with enough
+// out-of-orderness to exercise late data and watermark-driven EMIT.
+func lifecycleEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	g := nexmark.Generate(nexmark.GeneratorConfig{Seed: 11, NumEvents: 700, MaxOutOfOrderness: 2 * types.Second})
+	e, err := nexmark.NewEngine(g, core.WithUnboundedGroupBy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func planSQL(t *testing.T, cat plan.Catalog, sql string) *plan.PlannedQuery {
+	t.Helper()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pq, err := plan.New(cat, plan.Config{AllowUnboundedGroupBy: true}).Plan(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return opt.Optimize(pq)
+}
+
+func execSourcesFor(t *testing.T, e *core.Engine, root plan.Node) []exec.Source {
+	t.Helper()
+	names := map[string]bool{}
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok {
+			names[s.Name] = true
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	var out []exec.Source
+	for name := range names {
+		log, err := e.Log(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, exec.Source{Name: name, Log: log})
+	}
+	return out
+}
+
+// trimSources drops events beyond the horizon, mirroring Run's upTo contract.
+func trimSources(sources []exec.Source, upTo types.Time) []exec.Source {
+	out := make([]exec.Source, 0, len(sources))
+	for _, s := range sources {
+		end := 0
+		for end < len(s.Log) && s.Log[end].Ptime <= upTo {
+			end++
+		}
+		out = append(out, exec.Source{Name: s.Name, Log: s.Log[:end]})
+	}
+	return out
+}
+
+// splitPoints returns the sorted distinct ptimes across all sources.
+func splitPoints(sources []exec.Source) []types.Time {
+	seen := map[types.Time]bool{}
+	var pts []types.Time
+	for _, s := range sources {
+		for _, ev := range s.Log {
+			if !seen[ev.Ptime] {
+				seen[ev.Ptime] = true
+				pts = append(pts, ev.Ptime)
+			}
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return pts
+}
+
+// compileDriver builds the serial or partitioned pipeline for pq.
+func compileDriver(t *testing.T, pq *plan.PlannedQuery, parts int) exec.Driver {
+	t.Helper()
+	if parts > 1 {
+		pp, err := exec.CompilePartitioned(pq, parts)
+		if err != nil {
+			if errors.Is(err, exec.ErrNotPartitionable) {
+				t.Skipf("not partitionable: %v", err)
+			}
+			t.Fatalf("compile partitioned: %v", err)
+		}
+		return pp
+	}
+	pipe, err := exec.Compile(pq)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return pipe
+}
+
+// feedInBatches drives the incremental lifecycle: the sources are cut along
+// the ptime axis at the given boundaries (each batch holds every remaining
+// event with ptime <= cut), fed batch by batch, drained incrementally, then
+// advanced to upTo (when finite) and closed. It returns the final result and
+// the concatenation of all Drain calls.
+func feedInBatches(t *testing.T, d exec.Driver, sources []exec.Source, cuts []types.Time, upTo types.Time) (*exec.Result, tvr.Changelog) {
+	t.Helper()
+	if err := d.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	sources = trimSources(sources, upTo)
+	pos := make([]int, len(sources))
+	var drained tvr.Changelog
+	boundaries := append(append([]types.Time{}, cuts...), types.MaxTime)
+	for _, cut := range boundaries {
+		var batch []exec.Source
+		for i, s := range sources {
+			start := pos[i]
+			end := start
+			for end < len(s.Log) && s.Log[end].Ptime <= cut {
+				end++
+			}
+			if end > start {
+				batch = append(batch, exec.Source{Name: s.Name, Log: s.Log[start:end]})
+				pos[i] = end
+			}
+		}
+		if err := d.Feed(batch); err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		drained = append(drained, d.Drain()...)
+	}
+	if upTo != types.MaxTime {
+		if err := d.Advance(upTo); err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+		drained = append(drained, d.Drain()...)
+	}
+	res, err := d.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	drained = append(drained, d.Drain()...)
+	return res, drained
+}
+
+// assertResultsIdentical compares every rendering of two results.
+func assertResultsIdentical(t *testing.T, label string, got, want *exec.Result) {
+	t.Helper()
+	gl, wl := fmtLog(got.Log), fmtLog(want.Log)
+	if len(gl) != len(wl) {
+		t.Fatalf("%s: %d output events, want %d", label, len(gl), len(wl))
+	}
+	for i := range wl {
+		if gl[i] != wl[i] {
+			t.Fatalf("%s: event %d = %s, want %s", label, i, gl[i], wl[i])
+		}
+	}
+	gs := tvr.FormatStreamTable(got.Schema, got.StreamRows())
+	ws := tvr.FormatStreamTable(want.Schema, want.StreamRows())
+	if gs != ws {
+		t.Fatalf("%s: stream rendering differs:\ngot:\n%s\nwant:\n%s", label, gs, ws)
+	}
+	gt := tvr.FormatRelationTable(got.Schema, got.TableRows())
+	wt := tvr.FormatRelationTable(want.Schema, want.TableRows())
+	if gt != wt {
+		t.Fatalf("%s: table rendering differs:\ngot:\n%s\nwant:\n%s", label, gt, wt)
+	}
+}
+
+// lifecycleQueries is a cross-section of operator shapes: stateless
+// selection, join, windowed aggregation with every EMIT flavor, and the full
+// NEXMark Q7 self-join.
+func lifecycleQueries() []struct{ name, sql string } {
+	windowedMax := `
+SELECT TB.wstart wstart, TB.wend wend, MAX(TB.price) maxPrice
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.wstart, TB.wend`
+	// Grouping by the scan-backed auction column keeps the plan
+	// hash-partitionable, so the parts>1 variants run on the partitioned
+	// pipeline instead of skipping.
+	keyedMax := `
+SELECT TB.auction auction, TB.wstart wstart, TB.wend wend, MAX(TB.price) maxPrice
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.auction, TB.wstart, TB.wend`
+	return []struct{ name, sql string }{
+		{"selection", `SELECT auction, price FROM Bid WHERE MOD(auction, 5) = 0`},
+		{"join", `SELECT P.name, A.id FROM Auction A JOIN Person P ON A.seller = P.id`},
+		{"windowed-max", windowedMax},
+		{"windowed-max-emit-wm", windowedMax + ` EMIT AFTER WATERMARK`},
+		{"windowed-max-emit-delay", windowedMax + ` EMIT AFTER DELAY INTERVAL '7' SECONDS`},
+		{"windowed-max-emit-stream-wm", windowedMax + ` EMIT STREAM AFTER WATERMARK`},
+		{"keyed-max-emit-wm", keyedMax + ` EMIT STREAM AFTER WATERMARK`},
+		{"keyed-max-emit-delay", keyedMax + ` EMIT AFTER DELAY INTERVAL '7' SECONDS`},
+	}
+}
+
+// TestFeedSplitEquivalence: for every query and both executors, feeding the
+// recorded changelogs in one-event-deep ptime batches, in randomly cut
+// batches, and in one big batch all produce byte-identical results to the
+// one-shot Run — over the full input and truncated at a finite horizon.
+func TestFeedSplitEquivalence(t *testing.T) {
+	e := lifecycleEngine(t)
+	for _, q := range lifecycleQueries() {
+		q := q
+		t.Run(q.name, func(t *testing.T) {
+			pq := planSQL(t, e, q.sql)
+			sources := execSourcesFor(t, e, pq.Root)
+			pts := splitPoints(sources)
+			horizons := []types.Time{types.MaxTime}
+			if len(pts) > 2 {
+				horizons = append(horizons, pts[len(pts)/2])
+			}
+			for _, parts := range []int{1, 3} {
+				parts := parts
+				t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+					for hi, upTo := range horizons {
+						oneShot := compileDriver(t, pq, parts)
+						var want *exec.Result
+						{
+							res, err := oneShot.(interface {
+								Run([]exec.Source, types.Time) (*exec.Result, error)
+							}).Run(sources, upTo)
+							if err != nil {
+								t.Fatalf("run: %v", err)
+							}
+							want = res
+						}
+						rng := rand.New(rand.NewSource(int64(42 + hi)))
+						cutsets := [][]types.Time{
+							pts, // finest valid split: one ptime per batch
+							nil, // single batch
+							randomCuts(rng, pts, 5),
+							randomCuts(rng, pts, len(pts)/3+1),
+						}
+						for ci, cuts := range cutsets {
+							d := compileDriver(t, pq, parts)
+							got, drained := feedInBatches(t, d, sources, cuts, upTo)
+							label := fmt.Sprintf("horizon=%s cutset=%d", upTo, ci)
+							assertResultsIdentical(t, label, got, want)
+							// Drain must observe exactly the final log,
+							// incrementally.
+							if len(drained) != len(got.Log) {
+								t.Fatalf("%s: drained %d events, result log has %d", label, len(drained), len(got.Log))
+							}
+							for i := range drained {
+								if drained[i].String() != got.Log[i].String() {
+									t.Fatalf("%s: drained event %d = %s, want %s", label, i, drained[i], got.Log[i])
+								}
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// randomCuts picks n random distinct split points from pts, in order.
+func randomCuts(rng *rand.Rand, pts []types.Time, n int) []types.Time {
+	if n <= 0 || len(pts) == 0 {
+		return nil
+	}
+	picked := map[int]bool{}
+	for i := 0; i < n; i++ {
+		picked[rng.Intn(len(pts))] = true
+	}
+	var cuts []types.Time
+	for i, p := range pts {
+		if picked[i] {
+			cuts = append(cuts, p)
+		}
+	}
+	return cuts
+}
+
+// TestLifecycleMisuse: the lifecycle endpoints reject out-of-order use.
+func TestLifecycleMisuse(t *testing.T) {
+	e := lifecycleEngine(t)
+	pq := planSQL(t, e, `SELECT auction, price FROM Bid`)
+	pipe, err := exec.Compile(pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Feed(nil); err == nil {
+		t.Error("Feed before Start should fail")
+	}
+	if err := pipe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Start(); err == nil {
+		t.Error("double Start should fail")
+	}
+	if _, err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Close(); err == nil {
+		t.Error("double Close should fail")
+	}
+	if err := pipe.Feed(nil); err == nil {
+		t.Error("Feed after Close should fail")
+	}
+	if err := pipe.Advance(5); err == nil {
+		t.Error("Advance after Close should fail")
+	}
+}

@@ -62,12 +62,20 @@ type PartitionedPipeline struct {
 	directTail bool
 
 	// Watermark/heartbeat merge state.
-	wmMerge   *watermark.MinMerger
-	wmPtime   types.Time // max ptime over the copies of the pending watermark
-	wmSeq     int
-	hasHB     bool
-	lastHB    types.Time
-	opened    bool
+	wmMerge *watermark.MinMerger
+	wmPtime types.Time // max ptime over the copies of the pending watermark
+	wmSeq   int
+	hasHB   bool
+	lastHB  types.Time
+
+	// Incremental-lifecycle driver state: the global delivery sequence
+	// counter and the number of deliveries enqueued since the last flush.
+	// Both persist across Feed calls so that routing (round-robin uses the
+	// sequence number) and merge order are independent of batch splits.
+	seq     int
+	pending int
+	opened  bool
+	closed  bool
 }
 
 // partChain is one partition's copy of the operator chain.
@@ -205,109 +213,131 @@ func (pp *PartitionedPipeline) Run(sources []Source, upTo types.Time) (*Result, 
 	if pp.opened {
 		return nil, fmt.Errorf("exec: pipeline already ran")
 	}
+	if err := pp.Start(); err != nil {
+		return nil, err
+	}
+	if err := pp.feed(sources, upTo, true); err != nil {
+		return nil, err
+	}
+	// Advance the processing-time clock to the query horizon, then finish
+	// every scan — mirroring the serial driver's epilogue.
+	if upTo != types.MaxTime {
+		if err := pp.Advance(upTo); err != nil {
+			return nil, err
+		}
+	}
+	return pp.Close()
+}
+
+// Start opens every partition chain's operators, making the pipeline ready
+// for incremental Feed/Advance calls. The partitioning analysis rejects
+// plans with open-time emissions (constant relations, global aggregates),
+// which would otherwise duplicate per partition; verify that held.
+func (pp *PartitionedPipeline) Start() error {
+	if pp.opened {
+		return fmt.Errorf("exec: pipeline already started")
+	}
 	pp.opened = true
-	// Open operators in every chain, parent-first. The partitioning
-	// analysis rejects plans with open-time emissions (constant relations,
-	// global aggregates), which would otherwise duplicate per partition;
-	// verify that held.
 	for _, c := range pp.chains {
 		for _, op := range c.pipe.allOps {
 			if o, ok := op.(opener); ok {
 				if err := o.Open(); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 		if len(c.tag.buf) > 0 {
-			return nil, fmt.Errorf("exec: internal: partitioned plan emitted at open time")
+			return fmt.Errorf("exec: internal: partitioned plan emitted at open time")
 		}
 	}
+	return nil
+}
 
-	bySource := make(map[string]tvr.Changelog, len(sources))
-	for _, s := range sources {
-		bySource[lowered(s.Name)] = s.Log
-	}
-	type cursor struct {
-		name string
-		log  tvr.Changelog
-		pos  int
-	}
-	var cursors []*cursor
-	for _, name := range pp.scanOrder {
-		log, ok := bySource[name]
-		if !ok {
-			return nil, fmt.Errorf("exec: no source data for relation %q", name)
+// enqueue routes one delivery: data events go to the partition owning their
+// key, control events (watermarks, heartbeats, finishes) broadcast so every
+// partition observes time progress and end-of-input.
+func (pp *PartitionedPipeline) enqueue(d delivery) {
+	if d.ev.IsData() && !d.finish {
+		p := pp.route(d)
+		pp.chains[p].inbox = append(pp.chains[p].inbox, d)
+	} else {
+		for _, c := range pp.chains {
+			c.inbox = append(c.inbox, d)
 		}
-		cursors = append(cursors, &cursor{name: name, log: log})
 	}
+	pp.pending++
+}
 
-	seq := 0
-	pending := 0
-	enqueue := func(d delivery) {
-		if d.ev.IsData() && !d.finish {
-			p := pp.route(d)
-			pp.chains[p].inbox = append(pp.chains[p].inbox, d)
-		} else {
-			// Watermarks, heartbeats, and finishes broadcast: every
-			// partition must observe time progress and end-of-input.
-			for _, c := range pp.chains {
-				c.inbox = append(c.inbox, d)
-			}
-		}
-		pending++
+// flushReset runs one parallel round and resets the pending counter.
+func (pp *PartitionedPipeline) flushReset() error {
+	pp.pending = 0
+	return pp.flush()
+}
+
+// Feed merges and routes a batch of new per-source events, running parallel
+// rounds as the batch fills them, and materializes the batch's output into
+// the tail so Drain observes it. The global sequence counter persists across
+// calls, so batch splits change neither routing nor merge order: any
+// order-respecting split is byte-identical to a one-shot Run.
+func (pp *PartitionedPipeline) Feed(batch []Source) error {
+	return pp.feed(batch, types.MaxTime, false)
+}
+
+func (pp *PartitionedPipeline) feed(batch []Source, upTo types.Time, requireAll bool) error {
+	if !pp.opened || pp.closed {
+		return fmt.Errorf("exec: pipeline not accepting input")
 	}
-
 	// Same k-way merge by ptime as the serial driver (ties broken by
 	// source registration order), batched into parallel rounds.
-	for {
-		best := -1
-		for i, c := range cursors {
-			for c.pos < len(c.log) && c.log[c.pos].Ptime > upTo {
-				c.pos = len(c.log) // discard tail beyond the horizon
-			}
-			if c.pos >= len(c.log) {
-				continue
-			}
-			if best < 0 || c.log[c.pos].Ptime < cursors[best].log[cursors[best].pos].Ptime {
-				best = i
-			}
+	err := forEachMerged(batch, pp.scanOrder, upTo, requireAll, func(name string, ev tvr.Event) error {
+		for _, si := range pp.scanIdxOf[name] {
+			pp.enqueue(delivery{seq: pp.seq, scan: si, ev: ev})
+			pp.seq++
 		}
-		if best < 0 {
-			break
+		if pp.pending >= pp.round {
+			return pp.flushReset()
 		}
-		c := cursors[best]
-		ev := c.log[c.pos]
-		c.pos++
-		for _, si := range pp.scanIdxOf[c.name] {
-			enqueue(delivery{seq: seq, scan: si, ev: ev})
-			seq++
-		}
-		if pending >= pp.round {
-			if err := pp.flush(); err != nil {
-				return nil, err
-			}
-			pending = 0
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	return pp.flushReset()
+}
 
-	// Advance the processing-time clock to the query horizon, then finish
-	// every scan — mirroring the serial driver's epilogue.
-	if upTo != types.MaxTime {
-		hb := tvr.HeartbeatEvent(upTo)
-		for _, name := range pp.scanOrder {
-			for _, si := range pp.scanIdxOf[name] {
-				enqueue(delivery{seq: seq, scan: si, ev: hb})
-				seq++
-			}
-		}
+// Advance moves the processing-time clock to pt by broadcasting a heartbeat
+// to every partition and flushing the round.
+func (pp *PartitionedPipeline) Advance(pt types.Time) error {
+	if !pp.opened || pp.closed {
+		return fmt.Errorf("exec: pipeline not accepting input")
 	}
+	hb := tvr.HeartbeatEvent(pt)
 	for _, name := range pp.scanOrder {
 		for _, si := range pp.scanIdxOf[name] {
-			enqueue(delivery{seq: seq, scan: si, finish: true})
-			seq++
+			pp.enqueue(delivery{seq: pp.seq, scan: si, ev: hb})
+			pp.seq++
 		}
 	}
-	if err := pp.flush(); err != nil {
+	return pp.flushReset()
+}
+
+// Close signals end-of-input on every scan in every partition, flushes the
+// final round through the serial tail, and returns the materialized result.
+func (pp *PartitionedPipeline) Close() (*Result, error) {
+	if !pp.opened {
+		return nil, fmt.Errorf("exec: pipeline not started")
+	}
+	if pp.closed {
+		return nil, fmt.Errorf("exec: pipeline already closed")
+	}
+	pp.closed = true
+	for _, name := range pp.scanOrder {
+		for _, si := range pp.scanIdxOf[name] {
+			pp.enqueue(delivery{seq: pp.seq, scan: si, finish: true})
+			pp.seq++
+		}
+	}
+	if err := pp.flushReset(); err != nil {
 		return nil, err
 	}
 	if err := pp.tailTop.Finish(); err != nil {
@@ -315,6 +345,13 @@ func (pp *PartitionedPipeline) Run(sources []Source, upTo types.Time) (*Result, 
 	}
 	return pp.collector.result()
 }
+
+// Drain returns the output changelog events materialized since the previous
+// Drain (or since Start), in emission order.
+func (pp *PartitionedPipeline) Drain() tvr.Changelog { return pp.collector.drain() }
+
+// OutputWatermark reports the output relation's current watermark.
+func (pp *PartitionedPipeline) OutputWatermark() types.Time { return pp.collector.watermark() }
 
 // flush runs one parallel round: each partition worker drains its inbox
 // through its operator chain, then the tagged outputs are merged in delivery

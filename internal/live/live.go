@@ -1,0 +1,155 @@
+// Package live implements standing queries: compiled pipelines that stay
+// resident and are fed incrementally as new changes arrive, pushing EMIT
+// deltas to subscribers instead of recompiling and rescanning history per
+// request.
+//
+// The paper's central object is the time-varying relation, with the table
+// and stream renderings as equal citizens. The engine's one-shot query paths
+// (core.QueryTable / core.QueryStream) replay a recorded changelog through a
+// freshly compiled pipeline; package live supplies the third mode of
+// consumption: a Session wraps an exec.Driver (serial or key-partitioned)
+// started once, feeds it every subsequent ingested change through the same
+// deterministic merge the replay path uses, and delivers the incremental
+// output — stream-rendered deltas or consolidated table diffs — over a
+// bounded channel with explicit slow-consumer policy. Because the driver
+// lifecycle guarantees that incremental feeding is byte-identical to replay,
+// a standing subscription observes exactly the delta sequence a post-hoc
+// EMIT STREAM query over the final changelog would produce.
+package live
+
+import (
+	"errors"
+
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Mode selects which rendering of the output TVR a subscription receives.
+type Mode int
+
+const (
+	// Stream delivers the changelog rendering: every output change as a
+	// tvr.StreamRow with undo/ptime/ver metadata (Extension 4).
+	Stream Mode = iota
+	// Table delivers consolidated snapshot diffs: the net row changes
+	// since the previous delivery.
+	Table
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Table {
+		return "table"
+	}
+	return "stream"
+}
+
+// Policy says what happens when a subscriber's delta channel is full.
+type Policy int
+
+const (
+	// Block applies backpressure: the ingesting goroutine waits until the
+	// subscriber drains (or the subscription is canceled). Ingest latency
+	// becomes coupled to the slowest blocking subscriber.
+	Block Policy = iota
+	// DropWithError terminates the subscription with ErrSlowConsumer
+	// instead of stalling ingestion: the channel closes and Err reports
+	// the drop, so the subscriber knows its view is no longer complete.
+	DropWithError
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == DropWithError {
+		return "drop"
+	}
+	return "block"
+}
+
+// ErrSlowConsumer reports that a DropWithError subscription fell behind and
+// was terminated rather than stalling ingestion.
+var ErrSlowConsumer = errors.New("live: subscription dropped: consumer too slow")
+
+// ErrClosed reports an operation on a canceled or closed subscription.
+var ErrClosed = errors.New("live: subscription closed")
+
+// Delta is one incremental result delivery. Exactly one of Stream and Table
+// is populated, matching the subscription's Mode.
+type Delta struct {
+	// Stream holds the new stream-rendered output rows (Stream mode).
+	Stream []tvr.StreamRow
+	// Table holds the consolidated snapshot diff (Table mode).
+	Table *TableDiff
+	// Watermark is the output relation's watermark when the delta
+	// materialized.
+	Watermark types.Time
+}
+
+// TableDiff is the net change to the output snapshot across one delivery:
+// insert/delete pairs for the same row within the window cancel out.
+type TableDiff struct {
+	// Ptime is the processing time of the last change folded in.
+	Ptime types.Time
+	// Inserted rows were added to the snapshot (with multiplicity).
+	Inserted []types.Row
+	// Deleted rows were removed from the snapshot (with multiplicity).
+	Deleted []types.Row
+}
+
+// consolidate nets a drained output changelog into a snapshot diff.
+func consolidate(out tvr.Changelog) *TableDiff {
+	type acc struct {
+		row types.Row
+		n   int
+	}
+	counts := make(map[string]*acc)
+	var order []string
+	diff := &TableDiff{Ptime: types.MinTime}
+	for _, ev := range out {
+		if !ev.IsData() {
+			continue
+		}
+		if ev.Ptime > diff.Ptime {
+			diff.Ptime = ev.Ptime
+		}
+		k := ev.Row.Key()
+		a := counts[k]
+		if a == nil {
+			a = &acc{row: ev.Row}
+			counts[k] = a
+			order = append(order, k)
+		}
+		if ev.Kind == tvr.Insert {
+			a.n++
+		} else {
+			a.n--
+		}
+	}
+	for _, k := range order {
+		a := counts[k]
+		for i := 0; i < a.n; i++ {
+			diff.Inserted = append(diff.Inserted, a.row)
+		}
+		for i := 0; i < -a.n; i++ {
+			diff.Deleted = append(diff.Deleted, a.row)
+		}
+	}
+	return diff
+}
+
+// Stats is a point-in-time snapshot of a subscription's counters.
+type Stats struct {
+	// EventsIn counts source events fed into the standing pipeline
+	// (including watermarks).
+	EventsIn int64
+	// DeltasOut counts deltas delivered to the subscriber.
+	DeltasOut int64
+	// RowsOut counts output rows across all delivered deltas.
+	RowsOut int64
+	// Watermark is the output relation's current watermark.
+	Watermark types.Time
+	// QueueDepth is the number of deltas waiting in the channel.
+	QueueDepth int
+	// Partitions is the parallelism of the standing pipeline (1 = serial).
+	Partitions int
+}

@@ -1,0 +1,439 @@
+package live_test
+
+// Unit tests for the session/subscription machinery: slow-consumer policies,
+// cancellation under backpressure, graceful close, diff consolidation, and
+// manager routing — driven by a scripted in-memory exec.Driver so the tests
+// control exactly when output materializes.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/live"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// echoDriver is a minimal exec.Driver: every fed data event materializes as
+// one output event (identity query), and Close emits one final marker row.
+type echoDriver struct {
+	started bool
+	closed  bool
+	out     tvr.Changelog
+	drained int
+	wm      types.Time
+	final   types.Row // emitted at Close when non-nil
+}
+
+func (d *echoDriver) Start() error {
+	d.started = true
+	return nil
+}
+
+func (d *echoDriver) Feed(batch []exec.Source) error {
+	for _, s := range batch {
+		for _, ev := range s.Log {
+			if ev.IsData() {
+				d.out = append(d.out, ev)
+			} else if ev.Kind == tvr.Watermark && ev.Wm > d.wm {
+				d.wm = ev.Wm
+			}
+		}
+	}
+	return nil
+}
+
+func (d *echoDriver) Advance(pt types.Time) error { return nil }
+
+func (d *echoDriver) Close() (*exec.Result, error) {
+	d.closed = true
+	if d.final != nil {
+		d.out = append(d.out, tvr.InsertEvent(types.MaxTime, d.final))
+	}
+	return &exec.Result{Log: d.out}, nil
+}
+
+func (d *echoDriver) Drain() tvr.Changelog {
+	out := d.out[d.drained:len(d.out):len(d.out)]
+	d.drained = len(d.out)
+	return out
+}
+
+func (d *echoDriver) OutputWatermark() types.Time { return d.wm }
+func (d *echoDriver) Stats() exec.Stats           { return exec.Stats{Partitions: 1} }
+
+func testSchema() *types.Schema {
+	return types.NewSchema(types.Column{Name: "v", Kind: types.KindInt64})
+}
+
+func intRow(v int64) types.Row { return types.Row{types.NewInt(v)} }
+
+func newTestSession(t *testing.T, d exec.Driver, mode live.Mode, buffer int, pol live.Policy) *live.Session {
+	t.Helper()
+	s, err := live.NewSession(d, live.Config{
+		Name: "test", Mode: mode, Schema: testSchema(),
+		Sources: []string{"S"}, Buffer: buffer, Policy: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDropWithError: when the bounded channel fills, the subscription is
+// terminated with ErrSlowConsumer instead of stalling the producer.
+func TestDropWithError(t *testing.T) {
+	sess := newTestSession(t, &echoDriver{}, live.Stream, 2, live.DropWithError)
+	sub := sess.Subscription()
+	var err error
+	for i := 0; i < 10; i++ {
+		err = sess.Ingest("s", tvr.InsertEvent(types.Time(i), intRow(int64(i))))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, live.ErrSlowConsumer) {
+		t.Fatalf("ingest error = %v, want ErrSlowConsumer", err)
+	}
+	if !errors.Is(sub.Err(), live.ErrSlowConsumer) {
+		t.Fatalf("Err() = %v, want ErrSlowConsumer", sub.Err())
+	}
+	// The channel must be closed so a ranging consumer terminates; the two
+	// buffered deltas are still readable.
+	n := 0
+	for range sub.Deltas() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d buffered deltas, want 2", n)
+	}
+	// Further ingests keep failing with the recorded error.
+	if err := sess.Ingest("s", tvr.InsertEvent(100, intRow(100))); !errors.Is(err, live.ErrSlowConsumer) {
+		t.Fatalf("post-drop ingest error = %v", err)
+	}
+}
+
+// TestBlockBackpressure: a full channel stalls the producer until the
+// consumer drains; nothing is lost.
+func TestBlockBackpressure(t *testing.T) {
+	sess := newTestSession(t, &echoDriver{}, live.Stream, 1, live.Block)
+	sub := sess.Subscription()
+	const n = 20
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := sess.Ingest("s", tvr.InsertEvent(types.Time(i), intRow(int64(i)))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	var got []int64
+	for len(got) < n {
+		d := <-sub.Deltas()
+		time.Sleep(time.Millisecond) // deliberately slow consumer
+		for _, r := range d.Stream {
+			got = append(got, r.Row[0].Int())
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("producer error: %v", err)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("delta %d = %d, want %d (order or loss under backpressure)", i, v, i)
+		}
+	}
+}
+
+// TestCancelUnblocksProducer: canceling a subscription releases a producer
+// blocked on its full channel.
+func TestCancelUnblocksProducer(t *testing.T) {
+	sess := newTestSession(t, &echoDriver{}, live.Stream, 1, live.Block)
+	sub := sess.Subscription()
+	blocked := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 5; i++ {
+			if err = sess.Ingest("s", tvr.InsertEvent(types.Time(i), intRow(int64(i)))); err != nil {
+				break
+			}
+		}
+		blocked <- err
+	}()
+	// Give the producer time to fill the buffer and block, then cancel.
+	time.Sleep(10 * time.Millisecond)
+	sub.Cancel()
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, live.ErrClosed) {
+			t.Fatalf("producer error = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer still blocked after Cancel")
+	}
+	if !errors.Is(sub.Err(), live.ErrClosed) {
+		t.Fatalf("Err() = %v, want ErrClosed", sub.Err())
+	}
+	// Channel must be closed.
+	for range sub.Deltas() {
+	}
+}
+
+// TestGracefulCloseDeliversFinalDelta: Close completes the pipeline and
+// returns end-of-input emissions as the final delta without touching the
+// (possibly full) channel.
+func TestGracefulCloseDeliversFinalDelta(t *testing.T) {
+	d := &echoDriver{final: intRow(999)}
+	sess := newTestSession(t, d, live.Stream, 4, live.Block)
+	sub := sess.Subscription()
+	if err := sess.Ingest("s", tvr.InsertEvent(1, intRow(1))); err != nil {
+		t.Fatal(err)
+	}
+	final, err := sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || len(final.Stream) != 1 || final.Stream[0].Row[0].Int() != 999 {
+		t.Fatalf("final delta = %+v, want the close marker row", final)
+	}
+	if !d.closed {
+		t.Fatal("driver was not closed")
+	}
+	if sub.Err() != nil {
+		t.Fatalf("Err after graceful close = %v", sub.Err())
+	}
+	st := sub.Stats()
+	if st.EventsIn != 1 || st.DeltasOut != 2 || st.RowsOut != 2 {
+		t.Fatalf("stats = %+v, want EventsIn=1 DeltasOut=2 RowsOut=2", st)
+	}
+	// Second close reports the terminal state instead of re-closing.
+	if _, err := sub.Close(); !errors.Is(err, live.ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseKeepsInterruptedDelta: a delivery blocked on a full channel when
+// the consumer calls Close must not be lost — it folds into the final delta.
+func TestCloseKeepsInterruptedDelta(t *testing.T) {
+	d := &echoDriver{final: intRow(999)}
+	sess := newTestSession(t, d, live.Stream, 1, live.Block)
+	sub := sess.Subscription()
+	// Fill the buffer (delta 0 delivered), then block a producer on delta 1.
+	if err := sess.Ingest("s", tvr.InsertEvent(1, intRow(1))); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- sess.Ingest("s", tvr.InsertEvent(2, intRow(2)))
+	}()
+	time.Sleep(10 * time.Millisecond) // let the producer block
+	final, err := sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr := <-blocked; !errors.Is(perr, live.ErrClosed) {
+		t.Fatalf("producer error = %v, want ErrClosed", perr)
+	}
+	// The final delta must contain the interrupted row 2 AND the close
+	// marker 999 — nothing lost, order preserved.
+	var got []int64
+	for _, r := range final.Stream {
+		got = append(got, r.Row[0].Int())
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 999 {
+		t.Fatalf("final delta rows = %v, want [2 999]", got)
+	}
+	// The buffered delta 0 is still readable.
+	d0 := <-sub.Deltas()
+	if len(d0.Stream) != 1 || d0.Stream[0].Row[0].Int() != 1 {
+		t.Fatalf("buffered delta = %+v, want row 1", d0)
+	}
+}
+
+// TestTableDiffConsolidation: insert+delete of the same row inside one
+// delivery cancels out of the diff.
+func TestTableDiffConsolidation(t *testing.T) {
+	sess := newTestSession(t, &echoDriver{}, live.Table, 4, live.Block)
+	sub := sess.Subscription()
+	err := sess.IngestLog([]exec.Source{{Name: "s", Log: tvr.Changelog{
+		tvr.InsertEvent(1, intRow(1)),
+		tvr.InsertEvent(2, intRow(2)),
+		tvr.DeleteEvent(3, intRow(1)), // cancels the first insert
+		tvr.InsertEvent(4, intRow(2)), // multiplicity 2
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := <-sub.Deltas()
+	if d.Table == nil {
+		t.Fatal("nil table diff")
+	}
+	if len(d.Table.Deleted) != 0 {
+		t.Fatalf("deleted = %v, want empty (consolidated)", d.Table.Deleted)
+	}
+	if len(d.Table.Inserted) != 2 || d.Table.Inserted[0][0].Int() != 2 || d.Table.Inserted[1][0].Int() != 2 {
+		t.Fatalf("inserted = %v, want row(2) twice", d.Table.Inserted)
+	}
+	if d.Table.Ptime != 4 {
+		t.Fatalf("diff ptime = %s, want 0:00:00.004", d.Table.Ptime)
+	}
+	sub.Cancel()
+}
+
+// TestManagerRouting: Publish routes only to sessions scanning the named
+// relation, in commit order, and drops dead sessions from the table.
+func TestManagerRouting(t *testing.T) {
+	m := live.NewManager()
+	mk := func(source string) (*live.Session, *live.Subscription) {
+		s, err := live.NewSession(&echoDriver{}, live.Config{
+			Name: source, Mode: live.Stream, Schema: testSchema(),
+			Sources: []string{source}, Buffer: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(s, nil); err != nil {
+			t.Fatal(err)
+		}
+		return s, s.Subscription()
+	}
+	_, subA := mk("a")
+	_, subB := mk("b")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	commits := 0
+	publish := func(name string, v int64) {
+		if err := m.Publish(func() error { commits++; return nil }, name,
+			tvr.Changelog{tvr.InsertEvent(types.Time(v), intRow(v))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish("a", 1)
+	publish("b", 2)
+	publish("a", 3)
+	if commits != 3 {
+		t.Fatalf("commits = %d, want 3", commits)
+	}
+	readAll := func(sub *live.Subscription) []int64 {
+		var out []int64
+		for {
+			select {
+			case d := <-sub.Deltas():
+				for _, r := range d.Stream {
+					out = append(out, r.Row[0].Int())
+				}
+			default:
+				return out
+			}
+		}
+	}
+	if got := readAll(subA); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("subA rows = %v, want [1 3]", got)
+	}
+	if got := readAll(subB); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("subB rows = %v, want [2]", got)
+	}
+	// A failed commit must not route.
+	wantErr := errors.New("commit failed")
+	if err := m.Publish(func() error { return wantErr }, "a",
+		tvr.Changelog{tvr.InsertEvent(99, intRow(99))}); !errors.Is(err, wantErr) {
+		t.Fatalf("publish error = %v", err)
+	}
+	if got := readAll(subA); len(got) != 0 {
+		t.Fatalf("rows routed despite failed commit: %v", got)
+	}
+	// Canceling removes the session from the routing table.
+	subA.Cancel()
+	if m.Len() != 1 {
+		t.Fatalf("Len after cancel = %d, want 1", m.Len())
+	}
+	publish("a", 5) // no live session for "a": commit still succeeds
+	if commits != 4 {
+		t.Fatalf("commits = %d, want 4", commits)
+	}
+	subB.Cancel()
+}
+
+// TestPublishBatchesOneDelta: a published changelog batch reaches each
+// session as a single delivery, so a small DropWithError buffer survives
+// large atomic appends instead of being spuriously dropped.
+func TestPublishBatchesOneDelta(t *testing.T) {
+	m := live.NewManager()
+	s, err := live.NewSession(&echoDriver{}, live.Config{
+		Name: "batch", Mode: live.Stream, Schema: testSchema(),
+		Sources: []string{"s"}, Buffer: 1, Policy: live.DropWithError,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subscription()
+	var log tvr.Changelog
+	for i := 0; i < 100; i++ {
+		log = append(log, tvr.InsertEvent(types.Time(i), intRow(int64(i))))
+	}
+	if err := m.Publish(func() error { return nil }, "s", log); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("batch publish dropped the subscription: %v", err)
+	}
+	d := <-sub.Deltas()
+	if len(d.Stream) != 100 {
+		t.Fatalf("delta has %d rows, want the whole batch (100)", len(d.Stream))
+	}
+	st := sub.Stats()
+	if st.DeltasOut != 1 || st.EventsIn != 100 {
+		t.Fatalf("stats = %+v, want DeltasOut=1 EventsIn=100", st)
+	}
+	sub.Cancel()
+}
+
+// TestConcurrentIngestAndCancel: racing publishers, a consumer, and a
+// midstream cancel must neither deadlock nor panic (run with -race).
+func TestConcurrentIngestAndCancel(t *testing.T) {
+	m := live.NewManager()
+	s, err := live.NewSession(&echoDriver{}, live.Config{
+		Name: "race", Mode: live.Stream, Schema: testSchema(),
+		Sources: []string{"s"}, Buffer: 2, Policy: live.Block,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subscription()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = m.Publish(func() error { return nil }, "s",
+				tvr.Changelog{tvr.InsertEvent(types.Time(i), intRow(int64(i)))})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for range sub.Deltas() {
+			n++
+			if n == 50 {
+				sub.Cancel()
+			}
+		}
+	}()
+	wg.Wait()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after cancel, want 0", m.Len())
+	}
+}

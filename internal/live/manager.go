@@ -1,0 +1,116 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Manager is the routing half of the standing-query subsystem: a registry of
+// live sessions keyed by the relations they scan. The owning engine funnels
+// every catalog mutation through Publish, which serializes the commit and
+// the fan-out under one ordering lock so all sessions observe changes in the
+// same global order they entered the catalog — the property that makes a
+// standing subscription's delta sequence equal a post-hoc replay.
+//
+// Lock order is Manager.mu -> engine catalog lock -> Session.mu; nothing may
+// take them in reverse. A delivery blocked on a slow Block-policy subscriber
+// holds Manager.mu and that session's mu — never the engine catalog lock —
+// so concurrent reads and queries against the engine proceed (as do the
+// lock-free Stats/Err accessors), while further ingestion waits: that is the
+// backpressure.
+type Manager struct {
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*Session
+	count  atomic.Int64 // len(subs), readable without m.mu
+}
+
+// NewManager creates an empty registry.
+func NewManager() *Manager {
+	return &Manager{subs: make(map[int]*Session)}
+}
+
+// Register adds a session to the routing table. When history is non-nil it
+// runs first — under the ordering lock, so no concurrently published change
+// can slip between the snapshot it returns and the start of live routing —
+// and its batch is replayed through the session before registration. The
+// session's teardown hook is set to unregister it.
+func (m *Manager) Register(sess *Session, history func() ([]exec.Source, error)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if history != nil {
+		batch, err := history()
+		if err != nil {
+			return err
+		}
+		if err := sess.IngestLog(batch); err != nil {
+			return err
+		}
+	}
+	id := m.nextID
+	m.nextID++
+	m.subs[id] = sess
+	m.count.Store(int64(len(m.subs)))
+	sess.SetTeardown(func() { m.unregister(id) })
+	return nil
+}
+
+func (m *Manager) unregister(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removeLocked(id)
+}
+
+func (m *Manager) removeLocked(id int) {
+	delete(m.subs, id)
+	m.count.Store(int64(len(m.subs)))
+}
+
+// Publish atomically commits an engine-side change and routes the resulting
+// events to every session scanning the named relation. Each session receives
+// the whole batch in one delivery (one delta, one partitioned round) rather
+// than per-event. A session that refuses the batch (canceled, dropped, or
+// failed) is removed from the routing table; its subscriber learns why from
+// Subscription.Err.
+func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := commit(); err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	batch := []exec.Source{{Name: name, Log: evs}}
+	for id, sess := range m.subs {
+		if !sess.Matches(name) {
+			continue
+		}
+		if err := sess.IngestLog(batch); err != nil {
+			m.removeLocked(id)
+		}
+	}
+	return nil
+}
+
+// Advance broadcasts a processing-time heartbeat to every session, firing
+// due EMIT AFTER DELAY timers across all standing queries.
+func (m *Manager) Advance(pt types.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, sess := range m.subs {
+		if err := sess.Advance(pt); err != nil {
+			m.removeLocked(id)
+		}
+	}
+}
+
+// Len reports the number of live sessions without taking the routing lock,
+// so liveness probes stay responsive during a blocked delivery.
+func (m *Manager) Len() int {
+	return int(m.count.Load())
+}

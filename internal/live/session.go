@@ -1,0 +1,348 @@
+package live
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// Config describes a standing query to NewSession.
+type Config struct {
+	// Name labels the session for diagnostics (typically the SQL text).
+	Name string
+	// Mode selects the delta rendering (Stream or Table).
+	Mode Mode
+	// Schema is the output schema of the compiled plan.
+	Schema *types.Schema
+	// EmitKeys are the event-time grouping columns used for stream-
+	// rendering version numbers (plan.PlannedQuery.EmitKeyIdxs).
+	EmitKeys []int
+	// Sources are the relation names the plan scans (the session only
+	// accepts events for these).
+	Sources []string
+	// Buffer is the delta channel capacity (default 64).
+	Buffer int
+	// Policy is the slow-consumer policy.
+	Policy Policy
+}
+
+// Session is the engine-facing half of a standing query: it owns a started
+// exec.Driver and converts ingested source events into subscriber deltas.
+// The consumer-facing half is the Subscription returned by Subscription().
+//
+// A session is safe for concurrent use; ingestion is serialized internally.
+type Session struct {
+	cfg        Config
+	driver     exec.Driver
+	renderer   *tvr.StreamRenderer
+	sources    map[string]bool
+	partitions int
+
+	deltas chan Delta
+	done   chan struct{} // closed by Cancel/Close to unblock producers
+	once   sync.Once     // guards close(done)
+
+	mu       sync.Mutex
+	closed   bool // no further input accepted
+	chClosed bool // deltas channel closed
+	// pending holds a rendered delta whose channel send was interrupted
+	// by Close, so the graceful path can fold it into the final delta
+	// instead of losing it (Cancel discards it by design).
+	pending *Delta
+
+	// Observability state lives outside s.mu so Stats and Err stay
+	// responsive while a Block-policy delivery is stalled on a full
+	// channel (which happens holding s.mu).
+	err       atomic.Value // error; terminal, nil after a graceful Close
+	eventsIn  atomic.Int64
+	deltasOut atomic.Int64
+	rowsOut   atomic.Int64
+	wm        atomic.Int64 // types.Time
+
+	teardown     func() // unregisters from the owning manager
+	teardownOnce sync.Once
+}
+
+// NewSession starts the driver and wraps it as a standing query.
+func NewSession(d exec.Driver, cfg Config) (*Session, error) {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:        cfg,
+		driver:     d,
+		renderer:   tvr.NewStreamRenderer(cfg.EmitKeys),
+		sources:    make(map[string]bool, len(cfg.Sources)),
+		partitions: d.Stats().Partitions,
+		deltas:     make(chan Delta, cfg.Buffer),
+		done:       make(chan struct{}),
+	}
+	s.wm.Store(int64(types.MinTime))
+	for _, name := range cfg.Sources {
+		s.sources[strings.ToLower(name)] = true
+	}
+	return s, nil
+}
+
+// SetTeardown installs the hook run when the session leaves its manager.
+func (s *Session) SetTeardown(fn func()) { s.teardown = fn }
+
+// Matches reports whether the standing query scans the named relation.
+func (s *Session) Matches(name string) bool { return s.sources[strings.ToLower(name)] }
+
+// loadErr returns the recorded terminal error, if any. Writes happen under
+// s.mu; reads are lock-free so Err stays responsive during a blocked
+// delivery.
+func (s *Session) loadErr() error {
+	if v := s.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// terminalErr is the error a producer-facing call reports once the session
+// is closed. It reads only atomic state, so callers need not hold s.mu.
+func (s *Session) terminalErr() error {
+	if err := s.loadErr(); err != nil {
+		return err
+	}
+	return ErrClosed
+}
+
+// Name returns the session's diagnostic label.
+func (s *Session) Name() string { return s.cfg.Name }
+
+// Subscription returns the consumer-facing handle.
+func (s *Session) Subscription() *Subscription { return &Subscription{s: s} }
+
+// Ingest feeds one source event through the standing pipeline and delivers
+// any deltas that materialize.
+func (s *Session) Ingest(source string, ev tvr.Event) error {
+	return s.IngestLog([]exec.Source{{Name: source, Log: tvr.Changelog{ev}}})
+}
+
+// IngestLog feeds a batch of per-source events (merged deterministically by
+// the driver) and delivers the batch's deltas in one delivery. Subscribing
+// uses it to replay a relation's recorded history through the new pipeline.
+func (s *Session) IngestLog(batch []exec.Source) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.terminalErr()
+	}
+	for _, src := range batch {
+		s.eventsIn.Add(int64(len(src.Log)))
+	}
+	if err := s.driver.Feed(batch); err != nil {
+		s.failLocked(err)
+		return err
+	}
+	return s.deliverLocked()
+}
+
+// Advance moves the standing pipeline's processing-time clock to pt, firing
+// any due EMIT AFTER DELAY timers and delivering the resulting deltas.
+func (s *Session) Advance(pt types.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.terminalErr()
+	}
+	if err := s.driver.Advance(pt); err != nil {
+		s.failLocked(err)
+		return err
+	}
+	return s.deliverLocked()
+}
+
+// renderLocked drains the driver's new output and renders it per the
+// session mode, updating the row counters. It returns nil when nothing
+// materialized.
+func (s *Session) renderLocked() *Delta {
+	out := s.driver.Drain()
+	wm := s.driver.OutputWatermark()
+	s.wm.Store(int64(wm))
+	if len(out) == 0 {
+		return nil
+	}
+	d := Delta{Watermark: wm}
+	switch s.cfg.Mode {
+	case Table:
+		d.Table = consolidate(out)
+		s.rowsOut.Add(int64(len(d.Table.Inserted) + len(d.Table.Deleted)))
+	default:
+		d.Stream = s.renderer.Append(out)
+		s.rowsOut.Add(int64(len(d.Stream)))
+	}
+	return &d
+}
+
+// deliverLocked renders the driver's new output and hands it to the
+// subscriber under the slow-consumer policy.
+func (s *Session) deliverLocked() error {
+	d := s.renderLocked()
+	if d == nil {
+		return nil
+	}
+	switch s.cfg.Policy {
+	case DropWithError:
+		select {
+		case s.deltas <- *d:
+		default:
+			s.failLocked(ErrSlowConsumer)
+			return ErrSlowConsumer
+		}
+	default: // Block
+		select {
+		case s.deltas <- *d:
+		case <-s.done:
+			// Interrupted mid-delivery: keep the rendered delta so a
+			// graceful Close can still hand it over, and report without
+			// touching channel state — the closing goroutine finalizes
+			// it.
+			s.pending = d
+			return s.terminalErr()
+		}
+	}
+	s.deltasOut.Add(1)
+	return nil
+}
+
+// failLocked records a terminal error and wakes the subscriber.
+func (s *Session) failLocked(err error) {
+	if s.loadErr() == nil {
+		s.err.Store(err)
+	}
+	s.closed = true
+	s.once.Do(func() { close(s.done) })
+	s.closeDeltasLocked()
+}
+
+func (s *Session) closeDeltasLocked() {
+	if !s.chClosed {
+		s.chClosed = true
+		close(s.deltas)
+	}
+}
+
+// runTeardown unregisters the session from its manager exactly once. It must
+// be called without holding s.mu: the manager routes events while holding
+// its own lock and then takes s.mu, so taking them in the opposite order
+// here would deadlock.
+func (s *Session) runTeardown() {
+	s.teardownOnce.Do(func() {
+		if s.teardown != nil {
+			s.teardown()
+		}
+	})
+}
+
+// cancel tears the session down immediately: pending and future deliveries
+// are abandoned, the delta channel closes, and Err reports ErrClosed unless
+// a terminal error was already recorded.
+func (s *Session) cancel() {
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		if s.loadErr() == nil {
+			s.err.Store(ErrClosed)
+		}
+	}
+	s.closeDeltasLocked()
+	s.mu.Unlock()
+	s.runTeardown()
+}
+
+// closeGraceful finishes the standing query: it stops routing, completes the
+// pipeline input (closing bounded relations and flushing pending timers),
+// and returns the final delta those completions produce, if any. The final
+// delta is returned rather than channeled so a subscriber that has stopped
+// draining cannot deadlock its own close.
+func (s *Session) closeGraceful() (*Delta, error) {
+	// Unblock a delivery already waiting on the (no longer drained)
+	// channel; the interrupted producer sees ErrClosed and the manager
+	// drops the session.
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.runTeardown()
+		return nil, s.terminalErr()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Stop the manager from routing before finishing the pipeline; this
+	// waits out any in-flight publish.
+	s.runTeardown()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.driver.Close(); err != nil {
+		if s.loadErr() == nil {
+			s.err.Store(err)
+		}
+		s.closeDeltasLocked()
+		return nil, err
+	}
+	final := mergeDeltas(s.cfg.Mode, s.pending, s.renderLocked())
+	s.pending = nil
+	if final != nil {
+		s.deltasOut.Add(1)
+	}
+	s.closeDeltasLocked()
+	return final, nil
+}
+
+// mergeDeltas folds a delivery interrupted by Close into the close-time
+// delta so the subscriber's sequence stays gapless.
+func mergeDeltas(mode Mode, a, b *Delta) *Delta {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := Delta{Watermark: b.Watermark}
+	if mode == Table {
+		out.Table = &TableDiff{
+			Ptime:    a.Table.Ptime,
+			Inserted: append(append([]types.Row{}, a.Table.Inserted...), b.Table.Inserted...),
+			Deleted:  append(append([]types.Row{}, a.Table.Deleted...), b.Table.Deleted...),
+		}
+		if b.Table.Ptime > out.Table.Ptime {
+			out.Table.Ptime = b.Table.Ptime
+		}
+		return &out
+	}
+	out.Stream = append(append([]tvr.StreamRow{}, a.Stream...), b.Stream...)
+	return &out
+}
+
+// stats snapshots the counters. It takes no locks, so it stays responsive
+// while a Block-policy delivery is stalled on a full channel.
+func (s *Session) stats() Stats {
+	return Stats{
+		EventsIn:   s.eventsIn.Load(),
+		DeltasOut:  s.deltasOut.Load(),
+		RowsOut:    s.rowsOut.Load(),
+		Watermark:  types.Time(s.wm.Load()),
+		QueueDepth: len(s.deltas),
+		Partitions: s.partitions,
+	}
+}
+
+// String renders a one-line diagnostic summary.
+func (s *Session) String() string {
+	st := s.stats()
+	return fmt.Sprintf("live %s [%s] in=%d deltas=%d rows=%d wm=%s q=%d",
+		s.cfg.Mode, s.cfg.Name, st.EventsIn, st.DeltasOut, st.RowsOut, st.Watermark, st.QueueDepth)
+}

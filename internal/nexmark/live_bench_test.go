@@ -1,0 +1,146 @@
+package nexmark
+
+// The standing-query benchmark harness: opens a live subscription over a
+// NEXMark query, ingests the generated Bid changelog event by event (the
+// steady-state serving pattern), and records ingest throughput plus
+// per-delta delivery latency percentiles into BENCH_live.json at the
+// repository root. Run via `make bench-live`.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// liveBenchSQL is the serving benchmark's standing query: the per-auction
+// windowed rollup (hash-partitionable, watermark-driven EMIT) that the batch
+// harness also measures, so the two records are comparable.
+const liveBenchSQL = `
+SELECT auction, wstart, wend, MAX(price) maxPrice
+FROM Tumble(
+  data => TABLE(Bid),
+  timecol => DESCRIPTOR(dateTime),
+  dur => INTERVAL '10' SECONDS)
+GROUP BY auction, wstart, wend
+EMIT STREAM AFTER WATERMARK`
+
+// liveSubscribe opens the benchmark subscription on a Bid-only engine.
+func liveSubscribe(t testing.TB, mode live.Mode, parts, buffer int) (*core.Engine, *live.Subscription) {
+	t.Helper()
+	e := core.NewEngine()
+	if err := e.RegisterStream("Bid", BidFullSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var sub *live.Subscription
+	var err error
+	opts := core.SubscribeOptions{Parts: parts, Buffer: buffer}
+	if mode == live.Table {
+		sub, err = e.SubscribeTable(liveBenchSQL, opts)
+	} else {
+		sub, err = e.SubscribeStream(liveBenchSQL, opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, sub
+}
+
+// measureLive ingests the bid changelog through a standing subscription and
+// measures throughput and per-delta latency. The consumer is inline and
+// non-blocking (drain after every ingest), so latency is the full
+// ingest->pipeline->delivery path as a synchronous server would see it.
+func measureLive(t testing.TB, bids tvr.Changelog, mode live.Mode, parts int) bench.LiveResult {
+	t.Helper()
+	e, sub := liveSubscribe(t, mode, parts, len(bids)+16)
+	st0 := sub.Stats()
+
+	var latencies []int64
+	drain := func(since time.Time) {
+		for {
+			select {
+			case _, ok := <-sub.Deltas():
+				if !ok {
+					return
+				}
+				latencies = append(latencies, time.Since(since).Nanoseconds())
+			default:
+				return
+			}
+		}
+	}
+	start := time.Now()
+	for _, ev := range bids {
+		t0 := time.Now()
+		var err error
+		switch ev.Kind {
+		case tvr.Insert:
+			err = e.Insert("Bid", ev.Ptime, ev.Row)
+		case tvr.Delete:
+			err = e.Delete("Bid", ev.Ptime, ev.Row)
+		case tvr.Watermark:
+			err = e.AdvanceWatermark("Bid", ev.Ptime, ev.Wm)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t0)
+	}
+	ingestNs := time.Since(start).Nanoseconds()
+	if _, err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := sub.Stats()
+	if st.EventsIn-st0.EventsIn != int64(len(bids)) {
+		t.Fatalf("subscription saw %d events, ingested %d", st.EventsIn-st0.EventsIn, len(bids))
+	}
+	if st.DeltasOut == 0 {
+		t.Fatal("benchmark subscription delivered no deltas")
+	}
+	return bench.LiveResult{
+		Query:        "Per-auction windowed max (EMIT AFTER WATERMARK)",
+		Mode:         mode.String(),
+		Partitions:   st.Partitions,
+		Events:       len(bids),
+		Deltas:       st.DeltasOut,
+		Rows:         st.RowsOut,
+		IngestNs:     ingestNs,
+		LatencyP50Ns: bench.PercentileNs(latencies, 0.50),
+		LatencyP95Ns: bench.PercentileNs(latencies, 0.95),
+		LatencyP99Ns: bench.PercentileNs(latencies, 0.99),
+		LatencyMaxNs: bench.PercentileNs(latencies, 1.00),
+	}
+}
+
+// TestLiveBench measures steady-state subscription serving and writes
+// BENCH_live.json at the repository root.
+func TestLiveBench(t *testing.T) {
+	n := 30000
+	if testing.Short() {
+		n = 4000
+	}
+	g := Generate(GeneratorConfig{Seed: 42, NumEvents: n, MaxOutOfOrderness: 2 * types.Second})
+	rec := bench.NewLive("nexmark-live", testing.Short())
+	for _, cfg := range []struct {
+		mode  live.Mode
+		parts int
+	}{
+		{live.Stream, 1},
+		{live.Stream, 4},
+		{live.Table, 1},
+	} {
+		res := measureLive(t, g.Bids, cfg.mode, cfg.parts)
+		rec.Add(res)
+		t.Logf("%s parts=%d: %d events, %d deltas, %.0f events/s, p50=%s p99=%s",
+			res.Mode, res.Partitions, res.Events, res.Deltas,
+			float64(res.Events)/(float64(res.IngestNs)/1e9),
+			time.Duration(res.LatencyP50Ns), time.Duration(res.LatencyP99Ns))
+	}
+	if err := rec.WriteFile("../../BENCH_live.json"); err != nil {
+		t.Fatal(err)
+	}
+}

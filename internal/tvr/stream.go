@@ -39,20 +39,39 @@ func (s StreamRow) String() string {
 // content instead, which matches "changes to the same event time grouping"
 // degenerating to the whole relation.
 func RenderStream(c Changelog, keyIdxs []int) []StreamRow {
-	vers := make(map[string]int)
+	return NewStreamRenderer(keyIdxs).Append(c)
+}
+
+// StreamRenderer is the incremental form of RenderStream: it keeps the
+// per-group version counters across calls, so a changelog rendered in any
+// number of Append batches yields exactly the rows a single RenderStream
+// over the concatenated log would. Standing queries use it to decorate
+// output deltas as they materialize.
+type StreamRenderer struct {
+	keyIdxs []int
+	vers    map[string]int
+}
+
+// NewStreamRenderer creates a renderer grouping version numbers by the
+// columns at keyIdxs (empty means one global group).
+func NewStreamRenderer(keyIdxs []int) *StreamRenderer {
+	return &StreamRenderer{keyIdxs: keyIdxs, vers: make(map[string]int)}
+}
+
+// Append renders the next slice of the changelog, continuing the version
+// numbering from previous calls.
+func (r *StreamRenderer) Append(c Changelog) []StreamRow {
 	var out []StreamRow
 	for _, e := range c {
 		if !e.IsData() {
 			continue
 		}
 		var gk string
-		if len(keyIdxs) > 0 {
-			gk = e.Row.KeyOf(keyIdxs)
-		} else {
-			gk = ""
+		if len(r.keyIdxs) > 0 {
+			gk = e.Row.KeyOf(r.keyIdxs)
 		}
-		v := vers[gk]
-		vers[gk] = v + 1
+		v := r.vers[gk]
+		r.vers[gk] = v + 1
 		out = append(out, StreamRow{
 			Row:   e.Row,
 			Undo:  e.Kind == Delete,
