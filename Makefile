@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full bench-live verify
+.PHONY: all build vet test race bench bench-diff bench-full bench-live verify
 
 all: verify
 
@@ -20,7 +20,10 @@ race:
 	$(GO) test -race ./...
 
 # Short-mode benchmark harness: asserts serial/partitioned equivalence at
-# reduced scale and refreshes BENCH_nexmark.json and BENCH_live.json quickly.
+# reduced scale and refreshes the reduced-scale records
+# (BENCH_nexmark_short.json, BENCH_live_short.json). The committed
+# full-scale BENCH_nexmark.json / BENCH_live.json are only rewritten by
+# bench-full / bench-live.
 bench:
 	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench' -short -v
 
@@ -29,6 +32,18 @@ bench:
 # per-delta latency percentiles).
 bench-live:
 	$(GO) test ./internal/nexmark -run TestLiveBench -v -timeout 10m
+
+# Compare a fresh short benchmark run against the committed short-mode
+# baseline (like for like — short runs never compare against the
+# full-scale BENCH_nexmark.json): snapshots the baseline, reruns the
+# short bench (which rewrites BENCH_nexmark_short.json), and prints
+# per-query speedup deltas.
+bench-diff:
+	@base=$$(mktemp -t bench_base.XXXXXX.json) && \
+	cp BENCH_nexmark_short.json $$base && \
+	$(GO) test ./internal/nexmark -run TestNexmarkBench -short && \
+	$(GO) run ./cmd/benchdiff $$base BENCH_nexmark_short.json; \
+	status=$$?; rm -f $$base; exit $$status
 
 # Full-scale benchmark: regenerates BENCH_nexmark.json at 60k events and
 # enforces the >=1.5x partitioned speedup bar on machines with >=4 cores

@@ -1,0 +1,99 @@
+// Command benchdiff compares two NEXMark benchmark records — typically the
+// committed baseline and a fresh run at the same scale — and prints
+// per-query throughput and speedup deltas, so a perf regression is visible
+// as one table in a PR. `make bench-diff` and CI wire it like for like:
+// a fresh short run against the committed BENCH_nexmark_short.json.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Exit status is 0 even when throughput regressed: environment stamps
+// (cores, load) still differ between runs, so judging is left to the reader;
+// a scale/environment mismatch between the two records is called out in the
+// header.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: %s OLD.json NEW.json\n", os.Args[0])
+		os.Exit(2)
+	}
+	oldRec, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	newRec, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	diff(os.Stdout, oldRec, newRec)
+}
+
+func load(path string) (*bench.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec bench.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+// key identifies a query across records (IDs repeat only for ad-hoc -1
+// entries, which are disambiguated by name).
+func key(q bench.QueryResult) string { return fmt.Sprintf("%d/%s", q.ID, q.Name) }
+
+func diff(w *os.File, oldRec, newRec *bench.Record) {
+	fmt.Fprintf(w, "baseline: %s (%d queries, gomaxprocs=%d, short=%v)\n",
+		oldRec.Timestamp, len(oldRec.Queries), oldRec.GoMaxProcs, oldRec.ShortMode)
+	fmt.Fprintf(w, "fresh:    %s (%d queries, gomaxprocs=%d, short=%v)\n\n",
+		newRec.Timestamp, len(newRec.Queries), newRec.GoMaxProcs, newRec.ShortMode)
+	if oldRec.ShortMode != newRec.ShortMode || oldRec.GoMaxProcs != newRec.GoMaxProcs {
+		fmt.Fprintf(w, "note: environments differ; deltas are indicative only\n\n")
+	}
+
+	byKey := make(map[string]bench.QueryResult, len(oldRec.Queries))
+	for _, q := range oldRec.Queries {
+		byKey[key(q)] = q
+	}
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %9s %8s\n",
+		"query", "serial ev/s", "parallel ev/s", "speedup", "baseline", "delta")
+	for _, nq := range newRec.Queries {
+		oq, ok := byKey[key(nq)]
+		line := fmt.Sprintf("%-44.44s %14.0f %14.0f %8.2fx", nq.Name, nq.SerialEventsPerSec, nq.ParallelEventsPerSec, nq.Speedup)
+		if !ok {
+			fmt.Fprintf(w, "%s %9s %8s\n", line, "(new)", "")
+			continue
+		}
+		delete(byKey, key(nq))
+		fmt.Fprintf(w, "%s %8.2fx %+7.1f%%\n", line, oq.Speedup, pct(nq.Speedup, oq.Speedup))
+	}
+	for _, oq := range oldRec.Queries {
+		if _, gone := byKey[key(oq)]; gone {
+			fmt.Fprintf(w, "%-44.44s %14s %14s %9s %8.2fx (removed)\n", oq.Name, "-", "-", "-", oq.Speedup)
+		}
+	}
+}
+
+func pct(now, was float64) float64 {
+	if was == 0 {
+		return 0
+	}
+	return (now/was - 1) * 100
+}

@@ -118,8 +118,8 @@ func run(out io.Writer, queryID, events int, seed int64, parts int, both, explai
 			return fmt.Errorf("serial and partitioned results DIFFER:\nserial:\n%s\npartitioned:\n%s", s, p)
 		}
 		fmt.Fprintf(out, "serial:      %10.0f events/s (%s)\n", float64(events)/sd.Seconds(), sd.Round(time.Microsecond))
-		fmt.Fprintf(out, "partitioned: %10.0f events/s (%s, %d chains)\n",
-			float64(events)/pd.Seconds(), pd.Round(time.Microsecond), parallel.Stats.Partitions)
+		fmt.Fprintf(out, "partitioned: %10.0f events/s (%s, %d chains, path %s)\n",
+			float64(events)/pd.Seconds(), pd.Round(time.Microsecond), parallel.Stats.Partitions, parallel.Stats.Path)
 		fmt.Fprintf(out, "results identical across both executors (%d rows)\n", len(serial.Rows))
 		printRows(out, serial, maxRows)
 		return nil
@@ -129,8 +129,8 @@ func run(out io.Writer, queryID, events int, seed int64, parts int, both, explai
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "executed on %d chain(s) in %s (%.0f events/s); state rows %d, late dropped %d\n",
-		res.Stats.Partitions, d.Round(time.Microsecond), float64(events)/d.Seconds(),
+	fmt.Fprintf(out, "executed on %d chain(s) [%s] in %s (%.0f events/s); state rows %d, late dropped %d\n",
+		res.Stats.Partitions, res.Stats.Path, d.Round(time.Microsecond), float64(events)/d.Seconds(),
 		res.Stats.StateRows, res.Stats.LateDropped)
 	printRows(out, res, maxRows)
 	return nil

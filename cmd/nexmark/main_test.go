@@ -10,10 +10,12 @@ import (
 )
 
 // TestBothEquivalence: -both runs serial and partitioned and reports the
-// identical-results check.
+// identical-results check. The event count must clear the small-input gate
+// (parts*2048 over the Bid-dominated mix) or the "partitioned" side would
+// silently run serial and the equivalence assertion would be vacuous.
 func TestBothEquivalence(t *testing.T) {
 	var stdout, stderr strings.Builder
-	code := cliMain([]string{"-query", "2", "-events", "600", "-both"}, &stdout, &stderr)
+	code := cliMain([]string{"-query", "2", "-events", "12000", "-both"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
 	}
@@ -21,6 +23,7 @@ func TestBothEquivalence(t *testing.T) {
 	for _, want := range []string{
 		"Q2: Selection",
 		"partitioning: round-robin",
+		"4 chains, path parallel",
 		"results identical across both executors",
 	} {
 		if !strings.Contains(out, want) {
@@ -29,17 +32,22 @@ func TestBothEquivalence(t *testing.T) {
 	}
 }
 
-// TestSerialFallbackQuery: a non-partitionable query still runs with -both
-// via the transparent serial fallback.
-func TestSerialFallbackQuery(t *testing.T) {
+// TestTwoStageQuery: Q7's windows-only grouping — formerly a serial fallback
+// — now routes two-stage (full-row-hashed partial MAX, serial final), and at
+// CLI scale the small-input cost gate transparently runs it serially while
+// the routing line still reports the two-stage plan.
+func TestTwoStageQuery(t *testing.T) {
 	var stdout, stderr strings.Builder
 	code := cliMain([]string{"-query", "7", "-events", "600", "-both"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
-	if !strings.Contains(out, "partitioning: serial (") {
-		t.Errorf("expected serial fallback partitioning line:\n%s", out)
+	if !strings.Contains(out, "partitioning: two-stage(1) ") {
+		t.Errorf("expected two-stage partitioning line:\n%s", out)
+	}
+	if !strings.Contains(out, "path serial-small-input") {
+		t.Errorf("expected the small-input gate to engage at 600 events:\n%s", out)
 	}
 	if !strings.Contains(out, "results identical across both executors") {
 		t.Errorf("missing equivalence line:\n%s", out)

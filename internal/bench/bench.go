@@ -196,3 +196,31 @@ func MedianNs(runs int, fn func() error) (int64, error) {
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	return times[len(times)/2], nil
 }
+
+// MedianPairNs interleaves two functions run by run (A, B, A, B, ...) and
+// returns each one's median wall-clock nanoseconds. Interleaving is what
+// makes an A-vs-B comparison honest on a noisy machine: slow environmental
+// drift (duty-cycled CPU, background load, heap growth) hits both sides
+// equally instead of biasing whichever was measured second.
+func MedianPairNs(runs int, fnA, fnB func() error) (int64, int64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	ta := make([]int64, 0, runs)
+	tb := make([]int64, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if err := fnA(); err != nil {
+			return 0, 0, err
+		}
+		ta = append(ta, time.Since(start).Nanoseconds())
+		start = time.Now()
+		if err := fnB(); err != nil {
+			return 0, 0, err
+		}
+		tb = append(tb, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(ta, func(i, j int) bool { return ta[i] < ta[j] })
+	sort.Slice(tb, func(i, j int) bool { return tb[i] < tb[j] })
+	return ta[len(ta)/2], tb[len(tb)/2], nil
+}

@@ -36,10 +36,11 @@ import (
 // the live manager's ordering lock so standing queries observe changes in
 // commit order.
 type Engine struct {
-	mu   sync.RWMutex
-	rels map[string]*relation
-	cfg  plan.Config
-	live *live.Manager
+	mu      sync.RWMutex
+	rels    map[string]*relation
+	cfg     plan.Config
+	live    *live.Manager
+	gateMin int // small-input gate override; -1 = exec default
 }
 
 type relation struct {
@@ -58,9 +59,18 @@ func WithUnboundedGroupBy() Option {
 	return func(e *Engine) { e.cfg.AllowUnboundedGroupBy = true }
 }
 
+// WithSmallInputGate overrides the partitioned executor's small-input cost
+// gate: one-shot parallel queries run serially when the scanned relations
+// carry fewer than parts*minPerPart recorded events (the fan-out/merge
+// overhead would dominate). Pass 0 to always run partitioned. Without this
+// option the executor's default threshold (one round per partition) applies.
+func WithSmallInputGate(minPerPart int) Option {
+	return func(e *Engine) { e.gateMin = minPerPart }
+}
+
 // NewEngine creates an empty engine.
 func NewEngine(opts ...Option) *Engine {
-	e := &Engine{rels: make(map[string]*relation), live: live.NewManager()}
+	e := &Engine{rels: make(map[string]*relation), live: live.NewManager(), gateMin: -1}
 	for _, o := range opts {
 		o(e)
 	}
@@ -368,9 +378,31 @@ func (e *Engine) runWith(sql string, at types.Time, parts int) (*exec.Result, ex
 		return nil, exec.Stats{}, err
 	}
 	if parts > 1 {
+		// Small-input cost gate, applied before CompilePartitioned: a
+		// tiny input cannot amortize the fan-out/merge overhead, so it
+		// should not even pay for building the partition chains.
+		gate := e.gateMin
+		if gate < 0 {
+			gate = exec.SmallInputMinPerPartition
+		}
+		if exec.SmallInput(sources, parts, gate) {
+			res, st, err := e.runSerial(pq, sources, at)
+			if err == nil {
+				// Only claim the gate preempted parallelism when the
+				// plan could actually have partitioned; a plan with no
+				// valid routing runs serially at any input size.
+				if _, derr := plan.DerivePartitioning(pq); derr == nil {
+					st.Path = exec.PathSerialSmallInput
+				}
+			}
+			return res, st, err
+		}
 		pp, perr := exec.CompilePartitioned(pq, parts)
 		switch {
 		case perr == nil:
+			// The size decision is already made; disable the
+			// executor's own backstop gate.
+			pp.SetSmallInputGate(0)
 			res, err := pp.Run(sources, at)
 			if err != nil {
 				return nil, exec.Stats{}, err
@@ -381,6 +413,10 @@ func (e *Engine) runWith(sql string, at types.Time, parts int) (*exec.Result, ex
 		}
 		// Not partitionable: fall through to the serial pipeline.
 	}
+	return e.runSerial(pq, sources, at)
+}
+
+func (e *Engine) runSerial(pq *plan.PlannedQuery, sources []exec.Source, at types.Time) (*exec.Result, exec.Stats, error) {
 	pipe, err := exec.Compile(pq)
 	if err != nil {
 		return nil, exec.Stats{}, err

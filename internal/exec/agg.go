@@ -33,6 +33,7 @@ type aggOp struct {
 	wm       types.Time
 	lateDrop int
 	freed    int
+	keyBuf   []byte // reusable group-key encoding buffer
 }
 
 type eventKey struct {
@@ -40,28 +41,58 @@ type eventKey struct {
 	offset types.Duration
 }
 
+// eventKeysOf extracts the aggregate's event-time grouping keys with their
+// completion offsets — shared by the serial, partial, and final operators so
+// the three stages use one completion rule.
+func eventKeysOf(x *plan.Aggregate) []eventKey {
+	var out []eventKey
+	for _, pos := range x.EventKeyIdxs() {
+		out = append(out, eventKey{pos: pos, offset: x.Sch.Cols[pos].WmOffset})
+	}
+	return out
+}
+
+// groupComplete reports whether a group's event-time keys are all passed by
+// the watermark (accounting for per-column completion offsets). Groups with
+// no event-time keys, or NULL key values, never complete. This single
+// predicate decides late-data dropping and state cleanup for the serial
+// aggregate AND both halves of a two-stage aggregate — the three stages must
+// agree or partitioned output diverges from serial.
+func groupComplete(keys []eventKey, keyRow types.Row, wm types.Time) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	for _, ek := range keys {
+		v := keyRow[ek.pos]
+		if v.IsNull() || v.Kind() != types.KindTimestamp {
+			return false
+		}
+		if wm < v.Timestamp().Add(ek.offset) {
+			return false
+		}
+	}
+	return true
+}
+
 type aggGroup struct {
-	keyRow  types.Row
-	accs    []accumulator
-	n       int       // live input rows
-	outRow  types.Row // last emitted output row (nil if none)
-	dead    bool      // state freed by watermark completion
+	keyRow types.Row
+	accs   []accumulator
+	n      int       // live input rows
+	outRow types.Row // last emitted output row (nil if none)
+	dead   bool      // state freed by watermark completion
 }
 
 func newAggOp(x *plan.Aggregate, out sink) *aggOp {
-	a := &aggOp{
-		out:    out,
-		keys:   x.Keys,
-		aggs:   x.Aggs,
-		sch:    x.Sch,
-		global: x.Global(),
-		groups: make(map[string]*aggGroup),
-		wm:     types.MinTime,
+	return &aggOp{
+		out:       out,
+		keys:      x.Keys,
+		aggs:      x.Aggs,
+		sch:       x.Sch,
+		global:    x.Global(),
+		groups:    make(map[string]*aggGroup),
+		wm:        types.MinTime,
+		eventKeys: eventKeysOf(x),
 	}
-	for _, pos := range x.EventKeyIdxs() {
-		a.eventKeys = append(a.eventKeys, eventKey{pos: pos, offset: x.Sch.Cols[pos].WmOffset})
-	}
-	return a
 }
 
 // Open emits the initial row of a global aggregate: SQL semantics give a
@@ -87,21 +118,9 @@ func (a *aggOp) newGroup(keyRow types.Row) *aggGroup {
 }
 
 // complete reports whether a group's event-time keys are all passed by the
-// watermark. Groups with NULL event-time keys never complete.
+// watermark.
 func (a *aggOp) complete(keyRow types.Row, wm types.Time) bool {
-	if len(a.eventKeys) == 0 {
-		return false
-	}
-	for _, ek := range a.eventKeys {
-		v := keyRow[ek.pos]
-		if v.IsNull() || v.Kind() != types.KindTimestamp {
-			return false
-		}
-		if wm < v.Timestamp().Add(ek.offset) {
-			return false
-		}
-	}
-	return true
+	return groupComplete(a.eventKeys, keyRow, wm)
 }
 
 func (a *aggOp) Push(ev tvr.Event) error {
@@ -120,8 +139,8 @@ func (a *aggOp) Push(ev tvr.Event) error {
 		}
 		keyRow[i] = v
 	}
-	gk := keyRow.Key()
-	g, ok := a.groups[gk]
+	a.keyBuf = keyRow.AppendKey(a.keyBuf[:0])
+	g, ok := a.groups[string(a.keyBuf)] // allocation-free lookup
 	if ok && g.dead {
 		a.lateDrop++
 		return nil
@@ -134,6 +153,7 @@ func (a *aggOp) Push(ev tvr.Event) error {
 			return nil
 		}
 		g = a.newGroup(keyRow)
+		gk := string(a.keyBuf)
 		a.groups[gk] = g
 		a.order = append(a.order, gk)
 	}
@@ -241,6 +261,31 @@ type accumulator interface {
 	value() types.Value
 }
 
+// partialCarrier is implemented by accumulators that support two-stage
+// (partial/final) aggregation. appendPartial appends the accumulator's
+// communicated state — a fixed number of columns per aggregate kind (see
+// partialStateWidth) — to a partial-update row; the final aggregate merges
+// the latest such state per partition. The encoding must merge *exactly*:
+// combining the per-partition states has to reproduce the serial
+// accumulator's value at every input prefix, which is why sums stay in exact
+// integer arithmetic (plan.twoStageEligible gates out floating-point sums)
+// and MIN/MAX communicate only the extremum while the retraction-correct
+// multiset stays partition-local.
+type partialCarrier interface {
+	appendPartial(dst types.Row) types.Row
+}
+
+// partialStateWidth is the number of columns an aggregate kind contributes to
+// a partial-update row.
+func partialStateWidth(kind plan.AggKind) int {
+	switch kind {
+	case plan.AggCountStar, plan.AggCount:
+		return 1 // [count]
+	default:
+		return 2 // [sum-or-extremum, non-null count]
+	}
+}
+
 func newAccumulator(call plan.AggCall) accumulator {
 	var inner accumulator
 	switch call.Kind {
@@ -258,7 +303,7 @@ func newAccumulator(call plan.AggCall) accumulator {
 		inner = newMinMaxAcc(false)
 	}
 	if call.Distinct {
-		return &distinctAcc{inner: inner, counts: make(map[string]distinctEntry)}
+		return &distinctAcc{inner: inner, counts: make(map[string]*distinctEntry)}
 	}
 	return inner
 }
@@ -272,6 +317,10 @@ func (c *countStarAcc) update(_ types.Value, delta int) error {
 
 func (c *countStarAcc) value() types.Value { return types.NewInt(c.n) }
 
+func (c *countStarAcc) appendPartial(dst types.Row) types.Row {
+	return append(dst, types.NewInt(c.n))
+}
+
 type countAcc struct{ n int64 }
 
 func (c *countAcc) update(v types.Value, delta int) error {
@@ -282,6 +331,10 @@ func (c *countAcc) update(v types.Value, delta int) error {
 }
 
 func (c *countAcc) value() types.Value { return types.NewInt(c.n) }
+
+func (c *countAcc) appendPartial(dst types.Row) types.Row {
+	return append(dst, types.NewInt(c.n))
+}
 
 // sumAcc keeps exact integer sums for BIGINT and float sums otherwise; SUM
 // over zero non-NULL inputs is NULL per SQL.
@@ -324,16 +377,43 @@ func (s *sumAcc) value() types.Value {
 	}
 }
 
+// appendPartial communicates the raw sum by kind plus the non-null count (so
+// the final stage reproduces SUM's zero-input NULL).
+func (s *sumAcc) appendPartial(dst types.Row) types.Row {
+	var sum types.Value
+	switch s.kind {
+	case types.KindInt64:
+		sum = types.NewInt(s.i)
+	case types.KindInterval:
+		sum = types.NewInterval(types.Duration(s.i))
+	default:
+		sum = types.NewFloat(s.f)
+	}
+	return append(dst, sum, types.NewInt(s.n))
+}
+
+// avgAcc keeps the running sum in exact int64 arithmetic while every input is
+// a BIGINT, falling back to the order-dependent float sum the moment a
+// non-integer contributes. The exact path is what makes AVG mergeable across
+// partitions: integer partial sums add associatively, so the final stage's
+// float64(totalSum)/totalCount equals the serial value at every prefix.
 type avgAcc struct {
-	sum float64
-	n   int64
+	sumI    int64
+	sumF    float64
+	n       int64
+	inexact bool
 }
 
 func (a *avgAcc) update(v types.Value, delta int) error {
 	if v.IsNull() {
 		return nil
 	}
-	a.sum += float64(delta) * v.AsFloat()
+	if v.Kind() == types.KindInt64 {
+		a.sumI += int64(delta) * v.Int()
+	} else {
+		a.inexact = true
+	}
+	a.sumF += float64(delta) * v.AsFloat()
 	a.n += int64(delta)
 	return nil
 }
@@ -342,17 +422,32 @@ func (a *avgAcc) value() types.Value {
 	if a.n == 0 {
 		return types.Null()
 	}
-	return types.NewFloat(a.sum / float64(a.n))
+	if a.inexact {
+		return types.NewFloat(a.sumF / float64(a.n))
+	}
+	return types.NewFloat(float64(a.sumI) / float64(a.n))
+}
+
+func (a *avgAcc) appendPartial(dst types.Row) types.Row {
+	sum := types.NewInt(a.sumI)
+	if a.inexact {
+		sum = types.NewFloat(a.sumF)
+	}
+	return append(dst, sum, types.NewInt(a.n))
 }
 
 // minMaxAcc supports retractions by keeping the multiset of values; the
-// extremum is cached and recomputed only when it is retracted away.
+// extremum is cached and recomputed only when it is retracted away. Entries
+// are pointers so the steady-state update path — encode into the scratch
+// buffer, look up, mutate through the pointer — never materializes a key
+// string (only first-seen values allocate).
 type minMaxAcc struct {
 	min     bool
-	counts  map[string]minMaxEntry
+	counts  map[string]*minMaxEntry
 	current types.Value
 	valid   bool // current holds the true extremum
 	n       int64
+	scratch []byte // reusable key-encoding buffer
 }
 
 type minMaxEntry struct {
@@ -361,24 +456,26 @@ type minMaxEntry struct {
 }
 
 func newMinMaxAcc(min bool) *minMaxAcc {
-	return &minMaxAcc{min: min, counts: make(map[string]minMaxEntry), current: types.Null()}
+	return &minMaxAcc{min: min, counts: make(map[string]*minMaxEntry), current: types.Null()}
 }
 
 func (m *minMaxAcc) update(v types.Value, delta int) error {
 	if v.IsNull() {
 		return nil
 	}
-	k := types.Row{v}.Key()
-	e := m.counts[k]
+	m.scratch = v.AppendKey(m.scratch[:0])
+	e, ok := m.counts[string(m.scratch)]
+	if !ok {
+		e = &minMaxEntry{}
+		m.counts[string(m.scratch)] = e
+	}
 	e.val = v
 	e.count += delta
 	if e.count < 0 {
 		return fmt.Errorf("exec: MIN/MAX retraction of absent value %s", v)
 	}
 	if e.count == 0 {
-		delete(m.counts, k)
-	} else {
-		m.counts[k] = e
+		delete(m.counts, string(m.scratch))
 	}
 	m.n += int64(delta)
 	if delta > 0 {
@@ -423,11 +520,20 @@ func (m *minMaxAcc) value() types.Value {
 	return m.current
 }
 
+// appendPartial communicates only the partition-local extremum (plus the
+// non-null count for NULL semantics); the multiset that keeps it
+// retraction-correct never leaves the partition. Sub-bag routing guarantees
+// the extremum-of-extremums is the global extremum.
+func (m *minMaxAcc) appendPartial(dst types.Row) types.Row {
+	return append(dst, m.value(), types.NewInt(m.n))
+}
+
 // distinctAcc wraps another accumulator, forwarding only multiplicity
 // transitions 0->1 and 1->0 so the inner state sees each distinct value once.
 type distinctAcc struct {
-	inner  accumulator
-	counts map[string]distinctEntry
+	inner   accumulator
+	counts  map[string]*distinctEntry
+	scratch []byte
 }
 
 type distinctEntry struct {
@@ -439,8 +545,12 @@ func (d *distinctAcc) update(v types.Value, delta int) error {
 	if v.IsNull() {
 		return nil
 	}
-	k := types.Row{v}.Key()
-	e := d.counts[k]
+	d.scratch = v.AppendKey(d.scratch[:0])
+	e, ok := d.counts[string(d.scratch)]
+	if !ok {
+		e = &distinctEntry{}
+		d.counts[string(d.scratch)] = e
+	}
 	e.val = v
 	before := e.count
 	e.count += delta
@@ -448,9 +558,7 @@ func (d *distinctAcc) update(v types.Value, delta int) error {
 		return fmt.Errorf("exec: DISTINCT aggregate retraction of absent value %s", v)
 	}
 	if e.count == 0 {
-		delete(d.counts, k)
-	} else {
-		d.counts[k] = e
+		delete(d.counts, string(d.scratch))
 	}
 	if before == 0 && e.count > 0 {
 		return d.inner.update(v, 1)

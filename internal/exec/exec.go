@@ -40,6 +40,21 @@ type statser interface {
 	stats(*Stats)
 }
 
+// Execution-path labels reported in Stats.Path.
+const (
+	// PathSerial is the ordinary serial pipeline.
+	PathSerial = "serial"
+	// PathParallel is the key-partitioned pipeline with single-stage
+	// operators.
+	PathParallel = "parallel"
+	// PathParallelTwoStage is the key-partitioned pipeline with at least
+	// one partial/final aggregate pair.
+	PathParallelTwoStage = "parallel-two-stage"
+	// PathSerialSmallInput is the serial pipeline chosen by the
+	// partitioned driver's small-input cost gate.
+	PathSerialSmallInput = "serial-small-input"
+)
+
 // Stats aggregates observability counters across a pipeline, the raw
 // material for the paper's state-size and update-volume experiments.
 type Stats struct {
@@ -59,6 +74,11 @@ type Stats struct {
 	// Partitions is the number of parallel operator chains the query ran
 	// on (1 for the serial pipeline).
 	Partitions int
+	// TwoStage reports whether the plan used partial/final aggregation.
+	TwoStage bool
+	// Path identifies which execution path ran (see the Path* constants),
+	// including the partitioned driver's small-input serial fallback.
+	Path string
 }
 
 // Pipeline is a compiled, runnable query.
@@ -77,6 +97,13 @@ type Pipeline struct {
 	allOps    []sink               // in build (parent-before-child) order
 	opened    bool
 	closed    bool
+
+	// cutHook, when set, intercepts plan nodes at the partitioned
+	// pipeline's exchange frontier: the tail builder uses it to stop the
+	// serial segment at each cut and record the sink the cut subtree's
+	// merged stream must feed. Returning handled=true skips building the
+	// node's subtree.
+	cutHook func(n plan.Node, out sink) (handled bool, err error)
 }
 
 // scanBinding ties a compiled scan operator back to its plan node, so the
@@ -146,6 +173,11 @@ func lowered(s string) string {
 
 // build wires the operator for n so that its output flows into out.
 func (p *Pipeline) build(n plan.Node, out sink) error {
+	if p.cutHook != nil {
+		if handled, err := p.cutHook(n, out); handled || err != nil {
+			return err
+		}
+	}
 	switch x := n.(type) {
 	case *plan.Scan:
 		s := &scanOp{out: out, asOf: x.AsOf, bounded: !x.Stream}
@@ -328,6 +360,7 @@ func (p *Pipeline) Stats() Stats {
 		}
 	}
 	st.Partitions = 1
+	st.Path = PathSerial
 	return st
 }
 

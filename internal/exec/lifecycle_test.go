@@ -211,6 +211,22 @@ SELECT TB.auction auction, TB.wstart wstart, TB.wend wend, MAX(TB.price) maxPric
 FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
             dur => INTERVAL '10' SECONDS) TB
 GROUP BY TB.auction, TB.wstart, TB.wend`
+	// Grouping only by the window columns forces the two-stage
+	// (partial/final) path under parts>1: per-partition partial MAX/COUNT/
+	// AVG states merged by a final aggregate in the serial tail.
+	twoStage := `
+SELECT TB.wstart wstart, TB.wend wend,
+       MAX(TB.price) maxPrice, COUNT(*) bids, AVG(TB.price) avgPrice
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.wend, TB.wstart`
+	// An aggregate re-keying the join routing exercises two-stage above a
+	// hash-constrained (rather than full-row-hashed) partitioned subtree.
+	twoStageRekey := `
+SELECT W.seller seller, AVG(W.price) avgPrice, MIN(W.price) minPrice
+FROM (SELECT P.id id, P.name seller, B.price price
+      FROM Person P JOIN Bid B ON P.id = B.bidder) W
+GROUP BY W.seller`
 	return []struct{ name, sql string }{
 		{"selection", `SELECT auction, price FROM Bid WHERE MOD(auction, 5) = 0`},
 		{"join", `SELECT P.name, A.id FROM Auction A JOIN Person P ON A.seller = P.id`},
@@ -220,6 +236,10 @@ GROUP BY TB.auction, TB.wstart, TB.wend`
 		{"windowed-max-emit-stream-wm", windowedMax + ` EMIT STREAM AFTER WATERMARK`},
 		{"keyed-max-emit-wm", keyedMax + ` EMIT STREAM AFTER WATERMARK`},
 		{"keyed-max-emit-delay", keyedMax + ` EMIT AFTER DELAY INTERVAL '7' SECONDS`},
+		{"two-stage-window", twoStage},
+		{"two-stage-window-emit-wm", twoStage + ` EMIT STREAM AFTER WATERMARK`},
+		{"two-stage-window-emit-delay", twoStage + ` EMIT AFTER DELAY INTERVAL '7' SECONDS`},
+		{"two-stage-rekey", twoStageRekey},
 	}
 }
 

@@ -3,7 +3,6 @@ package exec
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/plan"
 	"repro/internal/tvr"
@@ -13,9 +12,10 @@ import (
 
 // This file implements key-partitioned parallel execution. The plan's
 // partitioning metadata (plan.DerivePartitioning) proves that rows which can
-// ever meet in operator state share a routing key, so the driver can run N
-// complete copies of the operator chain — one per partition — and fan data
-// events out by key hash while broadcasting watermarks and heartbeats.
+// ever meet in partition-resident operator state share a routing key, so the
+// driver can run N copies of each partitionable subtree — one per partition —
+// and fan data events out by key hash while broadcasting watermarks and
+// heartbeats.
 //
 // Determinism is preserved exactly, not approximately: every delivery (one
 // event pushed into one scan operator) gets a global sequence number in the
@@ -24,10 +24,25 @@ import (
 // merge stage reassembles the output stream in (sequence, emission) order.
 // Because a data delivery reaches exactly one partition and the per-key
 // operator state it touches lives wholly in that partition, the merged
-// stream is byte-identical to the serial pipeline's output. Per-partition
-// watermarks are min-merged (via watermark.MinMerger) before entering the
-// serial tail — the EMIT materialization operators and the collector — which
-// consumes the merged stream exactly as it would the serial one.
+// stream is byte-identical to the serial pipeline's output.
+//
+// The serial tail consumes the merged stream through one *exchange port* per
+// partitioned subtree (plan.Partitioning.CutNodes): for a fully partitionable
+// plan that is a single port feeding the EMIT materialization operators and
+// the collector; for a cut plan each port feeds the serial operator that
+// consumes the subtree (a final aggregate merging two-stage partials, a join
+// input, a DISTINCT). Per-partition watermarks min-merge per port (via
+// watermark.MinMerger) before entering the tail, and heartbeats deduplicate
+// per port, mirroring what the operator at that plan position would observe
+// serially.
+//
+// Scheduling is pipelined rather than round-barriered: each partition owns a
+// long-lived worker goroutine with double-buffered inbox/outbox, so the
+// workers process round N while the driver's merge stage consumes round N-1.
+// Rounds are merged strictly in dispatch order and sequence numbers grow
+// monotonically across rounds, so overlapping changes wall-clock behavior
+// only — the (seq, emission) merge order, and therefore the output bytes,
+// are identical to the barriered schedule.
 
 // ErrNotPartitionable reports that a plan cannot run key-partitioned and the
 // caller should fall back to the serial pipeline. Compile errors wrap it so
@@ -35,9 +50,22 @@ import (
 var ErrNotPartitionable = errors.New("exec: plan is not partitionable")
 
 // defaultRoundSize is the number of deliveries dispatched per parallel round.
-// Batching amortizes goroutine wake-ups and merge overhead; one round's
-// deliveries are routed, processed in parallel, then merged in order.
-const defaultRoundSize = 2048
+// Batching amortizes channel hand-offs and merge overhead, and large rounds
+// are what make the partitioned path cache-friendly (one partition's chain
+// stays hot for thousands of events before the driver touches the tail);
+// 8192 measured best on the NEXMark aggregation mix. One round's deliveries
+// are routed, processed in parallel, and merged in order while the next
+// round is being processed.
+const defaultRoundSize = 8192
+
+// SmallInputMinPerPartition is the default small-input cost-gate threshold:
+// below this many source events per partition the fan-out/merge overhead
+// cannot amortize and Run executes serially. Deliberately a fraction of the
+// round size — an input worth a couple of rounds already parallelizes.
+// Callers that know the input size up front (core's one-shot query paths)
+// should gate *before* CompilePartitioned so tiny queries do not even pay
+// for building the partition chains.
+const SmallInputMinPerPartition = 2048
 
 // PartitionedPipeline is a compiled query that executes as N key-partitioned
 // operator chains plus a serial merge/materialization tail.
@@ -45,6 +73,7 @@ type PartitionedPipeline struct {
 	parts  int
 	round  int
 	scheme *plan.Partitioning
+	pq     *plan.PlannedQuery // kept for the small-input serial fallback
 
 	chains []*partChain
 
@@ -52,21 +81,39 @@ type PartitionedPipeline struct {
 	scanOrder []string // lower-cased source names, serial cursor order
 	scanIdxOf map[string][]int
 	routes    [][]int // per scan index: columns to hash, nil = round-robin
+	hashBuf   []byte  // reusable routing-key encoding buffer
 
-	// Serial tail: EMIT operators and the collector.
-	tailOps   []sink
-	tailTop   sink
-	collector *Collector
-	// directTail is set when the tail is the bare collector, enabling the
-	// precomputed-key fast path.
+	// Serial tail: the final-aggregate/EMIT/collector operators plus one
+	// entry sink per exchange port (plan cut), in cut order.
+	tailOps     []sink
+	portSinks   []sink
+	portPartial []partialReceiver // non-nil where the port is a final aggregate
+	collector   *Collector
+	// directTail is set when the single port is the bare collector,
+	// enabling the precomputed-key fast path.
 	directTail bool
+	twoStage   bool
 
-	// Watermark/heartbeat merge state.
-	wmMerge *watermark.MinMerger
-	wmPtime types.Time // max ptime over the copies of the pending watermark
-	wmSeq   int
-	hasHB   bool
-	lastHB  types.Time
+	// Per-port watermark/heartbeat merge state.
+	ports []portState
+
+	// Pipelined round scheduling: one persistent worker per partition,
+	// double-buffered inboxes/outboxes recycled between rounds. inflight
+	// holds the participants of the round dispatched but not yet merged.
+	workers    []*partWorker
+	inflight   []int
+	spareInbox [][]delivery
+	spareBuf   [][]taggedEvent
+	stopped    bool
+	failed     error
+
+	// minPerPart is the small-input cost gate: Run falls back to the
+	// serial pipeline when the sources carry fewer than parts*minPerPart
+	// events, since tiny inputs cannot amortize the fan-out/merge
+	// overhead. 0 disables the gate; the incremental Feed lifecycle never
+	// gates (input size is unknown up front).
+	minPerPart int
+	fallback   *Pipeline // set when the gate engaged
 
 	// Incremental-lifecycle driver state: the global delivery sequence
 	// counter and the number of deliveries enqueued since the last flush.
@@ -78,13 +125,57 @@ type PartitionedPipeline struct {
 	closed  bool
 }
 
-// partChain is one partition's copy of the operator chain.
+// portState is the per-exchange-port control-event merge state.
+type portState struct {
+	wmMerge *watermark.MinMerger
+	wmPtime types.Time // max ptime over the copies of the pending watermark
+	wmSeq   int
+	hasHB   bool
+	lastHB  types.Time
+}
+
+// partialReceiver is implemented by the final aggregate: partial-update
+// events carry their originating partition so the final stage can replace
+// that partition's contribution.
+type partialReceiver interface {
+	PushPartial(part int, ev tvr.Event) error
+}
+
+// partChain is one partition's copy of the partitioned operator chains.
 type partChain struct {
 	pipe    *Pipeline
 	tag     *tagSink
 	scanOps []*scanOp // flattened in delivery order (scanOrder x per-name)
-	err     error
 	inbox   []delivery
+}
+
+// partWorker is a partition's scheduling endpoint. in has capacity 1 so the
+// driver can deposit the next round while the worker still processes the
+// current one; out has capacity 2 (the at-most-two dispatched-but-unmerged
+// rounds) so a worker never blocks sending results, even on error paths.
+type partWorker struct {
+	in  chan workerRound
+	out chan workerRound
+}
+
+// workerRound is one round's work unit: the routed deliveries in, the tagged
+// outputs back, both slices recycled round-over-round.
+type workerRound struct {
+	inbox []delivery
+	buf   []taggedEvent
+	err   error
+}
+
+// work processes rounds until the inbox channel closes. All chain operator
+// state is touched only between an in-receive and the matching out-send, so
+// the channel hand-offs order memory accesses between worker and driver.
+func (c *partChain) work(w *partWorker) {
+	for r := range w.in {
+		c.tag.buf = r.buf
+		r.err = c.drain(r.inbox)
+		r.buf = c.tag.buf
+		w.out <- r
+	}
 }
 
 // delivery is one unit of driver work: push one event into one scan operator
@@ -97,30 +188,41 @@ type delivery struct {
 }
 
 // taggedEvent is one output emission labelled with the delivery that caused
-// it; buffer order within a partition is the emission order.
+// it and the exchange port it surfaced at; buffer order within a partition is
+// the emission order.
 type taggedEvent struct {
-	seq int
-	ev  tvr.Event
-	key string // precomputed row key for data events (fast collector path)
+	seq  int
+	port int
+	ev   tvr.Event
+	key  string // precomputed row key for data events (fast collector path)
 }
 
-// tagSink terminates a partition chain, recording outputs with cause tags.
+// tagSink is the per-chain output buffer shared by the chain's port sinks.
 type tagSink struct {
 	seq     int
 	precomp bool
 	buf     []taggedEvent
 }
 
-func (t *tagSink) Push(ev tvr.Event) error {
-	te := taggedEvent{seq: t.seq, ev: ev}
-	if t.precomp && ev.IsData() {
+// portTagSink terminates one partitioned subtree of a chain, recording
+// outputs with cause and port tags. A delivery enters exactly one scan and
+// flows up exactly one subtree, so buffer order stays (seq, emission) order
+// even with several ports sharing the buffer.
+type portTagSink struct {
+	t    *tagSink
+	port int
+}
+
+func (s *portTagSink) Push(ev tvr.Event) error {
+	te := taggedEvent{seq: s.t.seq, port: s.port, ev: ev}
+	if s.t.precomp && ev.IsData() {
 		te.key = ev.Row.Key()
 	}
-	t.buf = append(t.buf, te)
+	s.t.buf = append(s.t.buf, te)
 	return nil
 }
 
-func (t *tagSink) Finish() error { return nil }
+func (s *portTagSink) Finish() error { return nil }
 
 // CompilePartitioned builds an N-way partitioned pipeline for the planned
 // query. It returns an error wrapping ErrNotPartitionable when the plan has
@@ -133,27 +235,81 @@ func CompilePartitioned(pq *plan.PlannedQuery, parts int) (*PartitionedPipeline,
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotPartitionable, err)
 	}
+	cutNodes := scheme.CutNodes()
+	cutIdx := make(map[plan.Node]int, len(cutNodes))
+	for i, n := range cutNodes {
+		cutIdx[n] = i
+	}
 	pp := &PartitionedPipeline{
-		parts:   parts,
-		round:   defaultRoundSize,
-		scheme:  scheme,
-		wmMerge: watermark.NewMinMerger(parts),
-		wmSeq:   -1,
+		parts:      parts,
+		round:      defaultRoundSize,
+		scheme:     scheme,
+		pq:         pq,
+		twoStage:   scheme.IsTwoStage(),
+		minPerPart: SmallInputMinPerPartition,
+		portSinks:  make([]sink, len(cutNodes)),
 	}
 
-	// The serial tail is built by the same helper Compile uses, so both
-	// paths materialize identically by construction.
+	// The materialization tail is built by the same helper Compile uses, so
+	// both paths materialize identically by construction. The serial
+	// segment above the exchange cuts (if any) is built by the ordinary
+	// operator builder with a hook that stops at each cut and records the
+	// sink its merged stream must feed — creating the final aggregate for
+	// two-stage cuts.
 	collector, tailOps, top := buildTail(pq)
 	pp.collector = collector
 	pp.tailOps = tailOps
-	pp.tailTop = top
-	pp.directTail = top == sink(pp.collector)
+	tailPipe := &Pipeline{scans: make(map[string][]*scanOp)}
+	tailPipe.cutHook = func(n plan.Node, out sink) (bool, error) {
+		ci, ok := cutIdx[n]
+		if !ok {
+			return false, nil
+		}
+		if agg, isAgg := n.(*plan.Aggregate); isAgg && scheme.TwoStage[agg] {
+			fa := newFinalAggOp(agg, parts, out)
+			tailPipe.allOps = append(tailPipe.allOps, fa)
+			pp.portSinks[ci] = fa
+		} else {
+			pp.portSinks[ci] = out
+		}
+		return true, nil
+	}
+	if err := tailPipe.build(pq.Root, top); err != nil {
+		return nil, err
+	}
+	if len(tailPipe.scanOrder) > 0 {
+		return nil, fmt.Errorf("exec: internal: scan above the exchange frontier")
+	}
+	pp.tailOps = append(pp.tailOps, tailPipe.allOps...)
+	pp.directTail = len(cutNodes) == 1 && pp.portSinks[0] == sink(pp.collector)
+	pp.portPartial = make([]partialReceiver, len(cutNodes))
+	for i, s := range pp.portSinks {
+		if pr, ok := s.(partialReceiver); ok {
+			pp.portPartial[i] = pr
+		}
+	}
+	pp.ports = make([]portState, len(cutNodes))
+	for i := range pp.ports {
+		pp.ports[i] = portState{wmMerge: watermark.NewMinMerger(parts), wmSeq: -1}
+	}
 
 	for i := 0; i < parts; i++ {
 		tag := &tagSink{precomp: pp.directTail}
 		pipe := &Pipeline{scans: make(map[string][]*scanOp)}
-		if err := pipe.build(pq.Root, tag); err != nil {
-			return nil, err
+		for ci, cut := range cutNodes {
+			top := &portTagSink{t: tag, port: ci}
+			if agg, isAgg := cut.(*plan.Aggregate); isAgg && scheme.TwoStage[agg] {
+				pa, err := newPartialAggOp(agg, top)
+				if err != nil {
+					return nil, err
+				}
+				pipe.allOps = append(pipe.allOps, pa)
+				if err := pipe.build(agg.Input, pa); err != nil {
+					return nil, err
+				}
+			} else if err := pipe.build(cut, top); err != nil {
+				return nil, err
+			}
 		}
 		chain := &partChain{pipe: pipe, tag: tag}
 		for _, name := range pipe.scanOrder {
@@ -163,7 +319,9 @@ func CompilePartitioned(pq *plan.PlannedQuery, parts int) (*PartitionedPipeline,
 	}
 
 	// The delivery plan comes from partition 0; all chains are built from
-	// the same plan tree in the same order, so indexes line up.
+	// the same plan tree in the same order, so indexes line up. Cut nodes
+	// enumerate in plan DFS order, so the concatenated scan order equals
+	// the serial pipeline's.
 	ref := pp.chains[0]
 	pp.scanOrder = ref.pipe.scanOrder
 	pp.scanIdxOf = make(map[string][]int)
@@ -190,28 +348,64 @@ func CompilePartitioned(pq *plan.PlannedQuery, parts int) (*PartitionedPipeline,
 	return pp, nil
 }
 
+// SetSmallInputGate overrides the small-input cost gate: Run executes
+// serially when the sources carry fewer than parts*minPerPart events. Pass 0
+// to always run partitioned (used by equivalence tests and benchmarks that
+// measure the parallel path at small scale).
+func (pp *PartitionedPipeline) SetSmallInputGate(minPerPart int) {
+	pp.minPerPart = minPerPart
+}
+
+// SmallInput is the single definition of the small-input cost-gate policy:
+// it reports whether the sources carry too few events to amortize a
+// parts-way fan-out under the given per-partition threshold (<= 0 disables).
+// Both PartitionedPipeline.Run and core's pre-compile gate call this, so the
+// threshold semantics cannot drift between the two layers.
+func SmallInput(sources []Source, parts, minPerPart int) bool {
+	if minPerPart <= 0 {
+		return false
+	}
+	total := 0
+	for _, s := range sources {
+		total += len(s.Log)
+	}
+	return total < parts*minPerPart
+}
+
 // route picks the partition for a data event entering the given scan.
 func (pp *PartitionedPipeline) route(d delivery) int {
 	cols := pp.routes[d.scan]
 	if cols == nil {
-		// Stateless plan: spread deliveries round-robin.
+		// Stateless subtree: spread deliveries round-robin.
 		return d.seq % pp.parts
 	}
-	// Inline FNV-1a: the routing loop is serial and per-event, so avoid
-	// the hasher allocation and []byte copy of hash/fnv.
+	// Inline FNV-1a over the reusable key-encoding buffer: the routing
+	// loop is serial and per-event, so avoid both the hasher allocation
+	// and the per-delivery string materialization.
+	pp.hashBuf = d.ev.Row.AppendKeyOf(pp.hashBuf[:0], cols)
 	h := uint32(2166136261)
-	key := d.ev.Row.KeyOf(cols)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
+	for _, b := range pp.hashBuf {
+		h = (h ^ uint32(b)) * 16777619
 	}
 	return int(h % uint32(pp.parts))
 }
 
 // Run feeds the sources through the partitioned pipeline; the contract is
-// identical to Pipeline.Run, including byte-identical output.
+// identical to Pipeline.Run, including byte-identical output. Inputs too
+// small to amortize the fan-out (see SetSmallInputGate) transparently run on
+// the serial pipeline instead; Stats reports which path executed.
 func (pp *PartitionedPipeline) Run(sources []Source, upTo types.Time) (*Result, error) {
 	if pp.opened {
 		return nil, fmt.Errorf("exec: pipeline already ran")
+	}
+	if SmallInput(sources, pp.parts, pp.minPerPart) {
+		sp, err := Compile(pp.pq)
+		if err != nil {
+			return nil, err
+		}
+		pp.opened, pp.closed = true, true
+		pp.fallback = sp
+		return sp.Run(sources, upTo)
 	}
 	if err := pp.Start(); err != nil {
 		return nil, err
@@ -229,15 +423,23 @@ func (pp *PartitionedPipeline) Run(sources []Source, upTo types.Time) (*Result, 
 	return pp.Close()
 }
 
-// Start opens every partition chain's operators, making the pipeline ready
-// for incremental Feed/Advance calls. The partitioning analysis rejects
-// plans with open-time emissions (constant relations, global aggregates),
-// which would otherwise duplicate per partition; verify that held.
+// Start opens the tail and every partition chain's operators and launches the
+// partition workers, making the pipeline ready for incremental Feed/Advance
+// calls. Only tail operators may emit at open time (a global final aggregate's
+// initial row); the partitioning analysis rejects chain-side open emissions
+// (constant relations), which would otherwise duplicate per partition.
 func (pp *PartitionedPipeline) Start() error {
 	if pp.opened {
 		return fmt.Errorf("exec: pipeline already started")
 	}
 	pp.opened = true
+	for _, op := range pp.tailOps {
+		if o, ok := op.(opener); ok {
+			if err := o.Open(); err != nil {
+				return err
+			}
+		}
+	}
 	for _, c := range pp.chains {
 		for _, op := range c.pipe.allOps {
 			if o, ok := op.(opener); ok {
@@ -247,10 +449,40 @@ func (pp *PartitionedPipeline) Start() error {
 			}
 		}
 		if len(c.tag.buf) > 0 {
-			return fmt.Errorf("exec: internal: partitioned plan emitted at open time")
+			return fmt.Errorf("exec: internal: partitioned chain emitted at open time")
 		}
 	}
+	pp.workers = make([]*partWorker, pp.parts)
+	pp.spareInbox = make([][]delivery, pp.parts)
+	pp.spareBuf = make([][]taggedEvent, pp.parts)
+	for p := range pp.workers {
+		w := &partWorker{in: make(chan workerRound, 1), out: make(chan workerRound, 2)}
+		pp.workers[p] = w
+		go pp.chains[p].work(w)
+	}
 	return nil
+}
+
+// stopWorkers ends the partition worker goroutines. Safe to call repeatedly;
+// workers never block on result sends (out is sized for the maximum number of
+// outstanding rounds), so closing their inboxes always terminates them.
+func (pp *PartitionedPipeline) stopWorkers() {
+	if pp.stopped || pp.workers == nil {
+		return
+	}
+	pp.stopped = true
+	for _, w := range pp.workers {
+		close(w.in)
+	}
+}
+
+// fail marks the pipeline unusable and shuts the workers down.
+func (pp *PartitionedPipeline) fail(err error) error {
+	if pp.failed == nil {
+		pp.failed = err
+	}
+	pp.stopWorkers()
+	return err
 }
 
 // enqueue routes one delivery: data events go to the partition owning their
@@ -268,47 +500,137 @@ func (pp *PartitionedPipeline) enqueue(d delivery) {
 	pp.pending++
 }
 
-// flushReset runs one parallel round and resets the pending counter.
-func (pp *PartitionedPipeline) flushReset() error {
-	pp.pending = 0
-	return pp.flush()
+// dispatch hands every non-empty inbox to its partition worker as one round,
+// swapping in the recycled spare buffers, and returns the participating
+// partitions in order.
+func (pp *PartitionedPipeline) dispatch() []int {
+	var participants []int
+	for p, c := range pp.chains {
+		if len(c.inbox) == 0 {
+			continue
+		}
+		pp.workers[p].in <- workerRound{inbox: c.inbox, buf: pp.spareBuf[p][:0]}
+		pp.spareBuf[p] = nil
+		c.inbox = pp.spareInbox[p][:0]
+		pp.spareInbox[p] = nil
+		participants = append(participants, p)
+	}
+	return participants
 }
 
-// Feed merges and routes a batch of new per-source events, running parallel
-// rounds as the batch fills them, and materializes the batch's output into
-// the tail so Drain observes it. The global sequence counter persists across
-// calls, so batch splits change neither routing nor merge order: any
-// order-respecting split is byte-identical to a one-shot Run.
+// collectRound waits for the given round's workers, k-way merges their tagged
+// buffers by (seq, partition) into the tail, and recycles the buffers.
+// Buffers are already seq-ordered: workers process deliveries in seq order
+// and tag outputs as they emit.
+func (pp *PartitionedPipeline) collectRound(participants []int) error {
+	if len(participants) == 0 {
+		return nil
+	}
+	rounds := make([]workerRound, len(participants))
+	var firstErr error
+	for i, p := range participants {
+		rounds[i] = <-pp.workers[p].out
+		if rounds[i].err != nil && firstErr == nil {
+			firstErr = rounds[i].err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	idx := make([]int, len(participants))
+	for {
+		best := -1
+		for i := range participants {
+			if idx[i] >= len(rounds[i].buf) {
+				continue
+			}
+			if best < 0 || rounds[i].buf[idx[i]].seq < rounds[best].buf[idx[best]].seq {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		te := rounds[best].buf[idx[best]]
+		idx[best]++
+		if err := pp.emit(te, participants[best]); err != nil {
+			return err
+		}
+	}
+	for i, p := range participants {
+		pp.spareInbox[p] = rounds[i].inbox[:0]
+		pp.spareBuf[p] = rounds[i].buf[:0]
+	}
+	return nil
+}
+
+// flushRound dispatches the pending deliveries as a new round and merges the
+// *previous* round's results — the double-buffered overlap: workers chew on
+// round N while the driver merges round N-1.
+func (pp *PartitionedPipeline) flushRound() error {
+	pp.pending = 0
+	cur := pp.dispatch()
+	err := pp.collectRound(pp.inflight)
+	pp.inflight = cur
+	if err != nil {
+		return pp.fail(err)
+	}
+	return nil
+}
+
+// sync dispatches any pending deliveries and merges every outstanding round,
+// leaving the pipeline quiescent (the barrier Drain and Close rely on).
+func (pp *PartitionedPipeline) sync() error {
+	if err := pp.flushRound(); err != nil {
+		return err
+	}
+	err := pp.collectRound(pp.inflight)
+	pp.inflight = nil
+	if err != nil {
+		return pp.fail(err)
+	}
+	return nil
+}
+
+// Feed merges and routes a batch of new per-source events, overlapping
+// parallel rounds with the merge stage as the batch fills them, and
+// materializes the batch's output into the tail so Drain observes it. The
+// global sequence counter persists across calls, so batch splits change
+// neither routing nor merge order: any order-respecting split is
+// byte-identical to a one-shot Run.
 func (pp *PartitionedPipeline) Feed(batch []Source) error {
 	return pp.feed(batch, types.MaxTime, false)
 }
 
 func (pp *PartitionedPipeline) feed(batch []Source, upTo types.Time, requireAll bool) error {
-	if !pp.opened || pp.closed {
+	if !pp.opened || pp.closed || pp.failed != nil {
 		return fmt.Errorf("exec: pipeline not accepting input")
 	}
 	// Same k-way merge by ptime as the serial driver (ties broken by
-	// source registration order), batched into parallel rounds.
+	// source registration order), batched into overlapping rounds.
 	err := forEachMerged(batch, pp.scanOrder, upTo, requireAll, func(name string, ev tvr.Event) error {
 		for _, si := range pp.scanIdxOf[name] {
 			pp.enqueue(delivery{seq: pp.seq, scan: si, ev: ev})
 			pp.seq++
 		}
 		if pp.pending >= pp.round {
-			return pp.flushReset()
+			return pp.flushRound()
 		}
 		return nil
 	})
 	if err != nil {
+		if pp.failed == nil {
+			pp.fail(err)
+		}
 		return err
 	}
-	return pp.flushReset()
+	return pp.sync()
 }
 
 // Advance moves the processing-time clock to pt by broadcasting a heartbeat
-// to every partition and flushing the round.
+// to every partition and syncing the outstanding rounds.
 func (pp *PartitionedPipeline) Advance(pt types.Time) error {
-	if !pp.opened || pp.closed {
+	if !pp.opened || pp.closed || pp.failed != nil {
 		return fmt.Errorf("exec: pipeline not accepting input")
 	}
 	hb := tvr.HeartbeatEvent(pt)
@@ -318,11 +640,12 @@ func (pp *PartitionedPipeline) Advance(pt types.Time) error {
 			pp.seq++
 		}
 	}
-	return pp.flushReset()
+	return pp.sync()
 }
 
-// Close signals end-of-input on every scan in every partition, flushes the
-// final round through the serial tail, and returns the materialized result.
+// Close signals end-of-input on every scan in every partition, merges the
+// final rounds through the serial tail, finishes the exchange ports, and
+// returns the materialized result.
 func (pp *PartitionedPipeline) Close() (*Result, error) {
 	if !pp.opened {
 		return nil, fmt.Errorf("exec: pipeline not started")
@@ -331,84 +654,51 @@ func (pp *PartitionedPipeline) Close() (*Result, error) {
 		return nil, fmt.Errorf("exec: pipeline already closed")
 	}
 	pp.closed = true
+	if pp.failed != nil {
+		return nil, pp.failed
+	}
 	for _, name := range pp.scanOrder {
 		for _, si := range pp.scanIdxOf[name] {
 			pp.enqueue(delivery{seq: pp.seq, scan: si, finish: true})
 			pp.seq++
 		}
 	}
-	if err := pp.flushReset(); err != nil {
+	if err := pp.sync(); err != nil {
 		return nil, err
 	}
-	if err := pp.tailTop.Finish(); err != nil {
-		return nil, err
+	pp.stopWorkers()
+	// Finish the tail ports. All merged events (including the finish-time
+	// final watermarks) are already in; a port's Finish emits nothing until
+	// the last input of a converging tail operator finishes, so port order
+	// yields the serial finish cascade.
+	for _, ps := range pp.portSinks {
+		if err := ps.Finish(); err != nil {
+			return nil, err
+		}
 	}
 	return pp.collector.result()
 }
 
 // Drain returns the output changelog events materialized since the previous
 // Drain (or since Start), in emission order.
-func (pp *PartitionedPipeline) Drain() tvr.Changelog { return pp.collector.drain() }
-
-// OutputWatermark reports the output relation's current watermark.
-func (pp *PartitionedPipeline) OutputWatermark() types.Time { return pp.collector.watermark() }
-
-// flush runs one parallel round: each partition worker drains its inbox
-// through its operator chain, then the tagged outputs are merged in delivery
-// order into the serial tail.
-func (pp *PartitionedPipeline) flush() error {
-	var wg sync.WaitGroup
-	for _, c := range pp.chains {
-		if len(c.inbox) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(c *partChain) {
-			defer wg.Done()
-			c.err = c.drain()
-		}(c)
+func (pp *PartitionedPipeline) Drain() tvr.Changelog {
+	if pp.fallback != nil {
+		return pp.fallback.Drain()
 	}
-	wg.Wait()
-	for _, c := range pp.chains {
-		if c.err != nil {
-			return c.err
-		}
-	}
-
-	// K-way merge of the per-partition output buffers by (seq, partition).
-	// Buffers are already seq-ordered: workers process deliveries in seq
-	// order and tag outputs as they emit.
-	idx := make([]int, pp.parts)
-	for {
-		best := -1
-		for p, c := range pp.chains {
-			i := idx[p]
-			if i >= len(c.tag.buf) {
-				continue
-			}
-			if best < 0 || c.tag.buf[i].seq < pp.chains[best].tag.buf[idx[best]].seq {
-				best = p
-			}
-		}
-		if best < 0 {
-			break
-		}
-		te := pp.chains[best].tag.buf[idx[best]]
-		idx[best]++
-		if err := pp.emit(te, best); err != nil {
-			return err
-		}
-	}
-	for _, c := range pp.chains {
-		c.inbox = c.inbox[:0]
-		c.tag.buf = c.tag.buf[:0]
-	}
-	return nil
+	return pp.collector.drain()
 }
 
-// drain pushes a partition's inbox through its chain.
-func (c *partChain) drain() error {
-	for _, d := range c.inbox {
+// OutputWatermark reports the output relation's current watermark.
+func (pp *PartitionedPipeline) OutputWatermark() types.Time {
+	if pp.fallback != nil {
+		return pp.fallback.OutputWatermark()
+	}
+	return pp.collector.watermark()
+}
+
+// drain pushes a round's deliveries through the partition's chain.
+func (c *partChain) drain(inbox []delivery) error {
+	for _, d := range inbox {
 		c.tag.seq = d.seq
 		s := c.scanOps[d.scan]
 		if d.finish {
@@ -424,11 +714,12 @@ func (c *partChain) drain() error {
 	return nil
 }
 
-// emit forwards one merged output into the serial tail. Data events pass
-// through directly (their cause delivery ran in exactly one partition, so
-// merge order equals serial order). Control events arrive once per partition
-// and are deduplicated: watermarks min-merge across partitions, heartbeats
-// forward once per processing time.
+// emit forwards one merged output into its exchange port of the serial tail.
+// Data events pass through directly (their cause delivery ran in exactly one
+// partition, so merge order equals serial order); partial-update events carry
+// their originating partition into the final aggregate. Control events arrive
+// once per partition and are deduplicated per port: watermarks min-merge
+// across partitions, heartbeats forward once per processing time.
 func (pp *PartitionedPipeline) emit(te taggedEvent, part int) error {
 	switch te.ev.Kind {
 	case tvr.Watermark:
@@ -436,33 +727,43 @@ func (pp *PartitionedPipeline) emit(te taggedEvent, part int) error {
 		// carry different ptimes (a bounded scan's final watermark is
 		// stamped with the partition's last seen ptime); the serial
 		// equivalent is the max over partitions.
-		if te.seq != pp.wmSeq {
-			pp.wmSeq = te.seq
-			pp.wmPtime = te.ev.Ptime
-		} else if te.ev.Ptime > pp.wmPtime {
-			pp.wmPtime = te.ev.Ptime
+		ps := &pp.ports[te.port]
+		if te.seq != ps.wmSeq {
+			ps.wmSeq = te.seq
+			ps.wmPtime = te.ev.Ptime
+		} else if te.ev.Ptime > ps.wmPtime {
+			ps.wmPtime = te.ev.Ptime
 		}
-		if wm, adv := pp.wmMerge.Advance(part, te.ev.Wm); adv {
-			return pp.tailTop.Push(tvr.WatermarkEvent(pp.wmPtime, wm))
+		if wm, adv := ps.wmMerge.Advance(part, te.ev.Wm); adv {
+			return pp.portSinks[te.port].Push(tvr.WatermarkEvent(ps.wmPtime, wm))
 		}
 		return nil
 	case tvr.Heartbeat:
-		if !pp.hasHB || te.ev.Ptime > pp.lastHB {
-			pp.hasHB = true
-			pp.lastHB = te.ev.Ptime
-			return pp.tailTop.Push(te.ev)
+		ps := &pp.ports[te.port]
+		if !ps.hasHB || te.ev.Ptime > ps.lastHB {
+			ps.hasHB = true
+			ps.lastHB = te.ev.Ptime
+			return pp.portSinks[te.port].Push(te.ev)
 		}
 		return nil
 	default:
 		if pp.directTail {
 			return pp.collector.PushKeyed(te.ev, te.key)
 		}
-		return pp.tailTop.Push(te.ev)
+		if pr := pp.portPartial[te.port]; pr != nil {
+			return pr.PushPartial(part, te.ev)
+		}
+		return pp.portSinks[te.port].Push(te.ev)
 	}
 }
 
 // Stats sums operator statistics across every partition chain and the tail.
 func (pp *PartitionedPipeline) Stats() Stats {
+	if pp.fallback != nil {
+		st := pp.fallback.Stats()
+		st.Path = PathSerialSmallInput
+		return st
+	}
 	var st Stats
 	for _, c := range pp.chains {
 		for _, op := range c.pipe.allOps {
@@ -477,6 +778,11 @@ func (pp *PartitionedPipeline) Stats() Stats {
 		}
 	}
 	st.Partitions = pp.parts
+	st.TwoStage = pp.twoStage
+	st.Path = PathParallel
+	if pp.twoStage {
+		st.Path = PathParallelTwoStage
+	}
 	return st
 }
 

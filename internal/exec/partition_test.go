@@ -103,6 +103,9 @@ func runBoth(t *testing.T, mk func() *plan.PlannedQuery, sources []exec.Source, 
 	if err != nil {
 		t.Fatalf("compile partitioned: %v", err)
 	}
+	// These tests measure the parallel path itself; disable the
+	// small-input gate that would route test-sized inputs serially.
+	pp.SetSmallInputGate(0)
 	parallel, err := pp.Run(sources, upTo)
 	if err != nil {
 		t.Fatalf("run partitioned: %v", err)
@@ -210,16 +213,26 @@ func TestPartitionedHorizonAndLateData(t *testing.T) {
 
 // TestPartitionedFallbackClassification: plans without a valid hash
 // partitioning are rejected with ErrNotPartitionable so callers fall back.
+// Shapes that used to be rejected but now partition — keyless aggregation
+// (two-stage partial/final) and keyless joins (serial tail join over
+// round-robin sides) — are asserted as compilable.
 func TestPartitionedFallbackClassification(t *testing.T) {
-	cases := map[string]*plan.PlannedQuery{
+	serial := map[string]*plan.PlannedQuery{
+		"constant relation": {Root: &plan.Values{
+			Rows: []types.Row{{types.NewInt(1)}},
+			Sch:  types.NewSchema(types.Column{Name: "x", Kind: types.KindInt64}),
+		}},
+	}
+	for name, pq := range serial {
+		if _, err := exec.CompilePartitioned(pq, 4); !errors.Is(err, exec.ErrNotPartitionable) {
+			t.Errorf("%s: error = %v, want ErrNotPartitionable", name, err)
+		}
+	}
+	parallel := map[string]*plan.PlannedQuery{
 		"global aggregate": {Root: &plan.Aggregate{
 			Input: scanNode(),
 			Aggs:  []plan.AggCall{{Kind: plan.AggCountStar, K: types.KindInt64}},
 			Sch:   types.NewSchema(types.Column{Name: "n", Kind: types.KindInt64}),
-		}},
-		"constant relation": {Root: &plan.Values{
-			Rows: []types.Row{{types.NewInt(1)}},
-			Sch:  types.NewSchema(types.Column{Name: "x", Kind: types.KindInt64}),
 		}},
 		"cross join": {Root: &plan.Join{
 			Left:  scanNode(),
@@ -228,9 +241,9 @@ func TestPartitionedFallbackClassification(t *testing.T) {
 			Sch:   bidSchema().WithoutEventTime().Concat(bidSchema().WithoutEventTime()),
 		}},
 	}
-	for name, pq := range cases {
-		if _, err := exec.CompilePartitioned(pq, 4); !errors.Is(err, exec.ErrNotPartitionable) {
-			t.Errorf("%s: error = %v, want ErrNotPartitionable", name, err)
+	for name, pq := range parallel {
+		if _, err := exec.CompilePartitioned(pq, 4); err != nil {
+			t.Errorf("%s: error = %v, want a partitioned plan", name, err)
 		}
 	}
 	// A single partition is not a parallel plan either.

@@ -216,12 +216,18 @@ func (s *Session) deliverLocked() error {
 	return nil
 }
 
-// failLocked records a terminal error and wakes the subscriber.
+// failLocked records a terminal error and wakes the subscriber. The driver is
+// completed too (errors irrelevant on a failing session): once s.closed is
+// set, no cancel/close path will touch the driver again, and a partitioned
+// pipeline's worker goroutines are only released by its Close.
 func (s *Session) failLocked(err error) {
 	if s.loadErr() == nil {
 		s.err.Store(err)
 	}
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		s.driver.Close() //nolint:errcheck
+	}
 	s.once.Do(func() { close(s.done) })
 	s.closeDeltasLocked()
 }
@@ -256,6 +262,10 @@ func (s *Session) cancel() {
 		if s.loadErr() == nil {
 			s.err.Store(ErrClosed)
 		}
+		// Complete the driver even though the output is discarded: the
+		// partitioned pipeline parks worker goroutines that only a Close
+		// releases. Errors are irrelevant on the cancel path.
+		s.driver.Close() //nolint:errcheck
 	}
 	s.closeDeltasLocked()
 	s.mu.Unlock()

@@ -19,6 +19,24 @@ import (
 // benchParts is the partition count the acceptance speedup is defined at.
 const benchParts = 4
 
+// stableRuns widens the sample count for queries whose whole measurement
+// would otherwise fit inside one scheduler hiccup: aim for ~300ms of total
+// measuring per side, capped at 100 runs.
+func stableRuns(runs int, medianNs int64) int {
+	const targetNs = 300e6
+	if medianNs <= 0 || int64(runs)*medianNs >= targetNs {
+		return runs
+	}
+	more := int(targetNs/medianNs) + 1
+	if more > 100 {
+		more = 100
+	}
+	if more < runs {
+		return runs
+	}
+	return more
+}
+
 // aggBenchSQL is the harness's dedicated aggregation benchmark: a windowed
 // per-auction rollup that hash-partitions on the auction key and carries
 // enough accumulator work (including an order-statistics MIN/MAX multiset)
@@ -33,9 +51,8 @@ FROM Tumble(
   dur => INTERVAL '10' SECONDS)
 GROUP BY auction, wstart, wend`
 
-func benchEngine(t testing.TB, g *Generated, q Query) *core.Engine {
+func benchEngine(t testing.TB, g *Generated, q Query, opts ...core.Option) *core.Engine {
 	t.Helper()
-	var opts []core.Option
 	if q.NeedsUnboundedGroupBy {
 		opts = append(opts, core.WithUnboundedGroupBy())
 	}
@@ -45,6 +62,10 @@ func benchEngine(t testing.TB, g *Generated, q Query) *core.Engine {
 	}
 	return e
 }
+
+// forceParallel disables the small-input cost gate so equivalence tests
+// exercise the partitioned path at test scale.
+var forceParallel = core.WithSmallInputGate(0)
 
 // TestSerialParallelEquivalence asserts that, for every NEXMark query plus
 // the aggregation benchmark, partitioned execution produces byte-identical
@@ -64,7 +85,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	for _, q := range queries {
 		q := q
 		t.Run(q.Name, func(t *testing.T) {
-			e := benchEngine(t, g, q)
+			e := benchEngine(t, g, q, forceParallel)
 
 			serialStream, err := e.QueryStream(q.SQL)
 			if err != nil {
@@ -99,25 +120,55 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestPartitioningCoverage pins down which NEXMark queries admit a hash
-// partitioning: the stateless and equi-keyed queries parallelize, while the
-// multi-attribute window joins and re-keyed aggregations fall back to serial
-// (they re-group by columns the partition key does not determine).
+// TestPartitioningCoverage pins down how every NEXMark query parallelizes:
+// the stateless and equi-keyed queries run single-stage (hash or
+// round-robin), and the re-keyed/keyless aggregations (Q4, Q5, Q6, Q7) run
+// two-stage — a per-partition partial aggregate feeding a final merge in the
+// serial tail. Nothing falls back to serial anymore.
 func TestPartitioningCoverage(t *testing.T) {
 	g := Generate(GeneratorConfig{Seed: 3, NumEvents: 300, MaxOutOfOrderness: types.Second})
-	wantParallel := map[int]bool{0: true, 1: true, 2: true, 3: true, 8: true, -1: true}
+	wantTwoStage := map[int]bool{4: true, 5: true, 6: true, 7: true}
 	queries := append(Queries(), Query{ID: -1, Name: "bench aggregation", SQL: aggBenchSQL})
 	for _, q := range queries {
-		e := benchEngine(t, g, q)
+		e := benchEngine(t, g, q, forceParallel)
 		res, err := e.QueryStreamParallel(q.SQL, benchParts)
 		if err != nil {
 			t.Errorf("Q%d: %v", q.ID, err)
 			continue
 		}
-		gotParallel := res.Stats.Partitions == benchParts
-		if gotParallel != wantParallel[q.ID] {
-			t.Errorf("Q%d: ran with Partitions=%d, want parallel=%v", q.ID, res.Stats.Partitions, wantParallel[q.ID])
+		if res.Stats.Partitions != benchParts {
+			t.Errorf("Q%d: ran with Partitions=%d, want %d", q.ID, res.Stats.Partitions, benchParts)
 		}
+		if res.Stats.TwoStage != wantTwoStage[q.ID] {
+			t.Errorf("Q%d: TwoStage=%v, want %v (path %s)", q.ID, res.Stats.TwoStage, wantTwoStage[q.ID], res.Stats.Path)
+		}
+	}
+}
+
+// TestSmallInputGate: with the default cost gate, a parallel query over an
+// input too small to amortize the fan-out transparently runs on the serial
+// pipeline, and Stats records the chosen path.
+func TestSmallInputGate(t *testing.T) {
+	g := Generate(GeneratorConfig{Seed: 3, NumEvents: 300, MaxOutOfOrderness: types.Second})
+	q, err := QueryByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := benchEngine(t, g, q)
+	res, err := e.QueryStreamParallel(q.SQL, benchParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Partitions != 1 || res.Stats.Path != "serial-small-input" {
+		t.Errorf("gate did not engage: Partitions=%d Path=%q", res.Stats.Partitions, res.Stats.Path)
+	}
+	// The routing itself is still derivable — only execution was gated.
+	part, err := e.ExplainPartitioning(q.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part == "" || part[0] == 's' {
+		t.Errorf("ExplainPartitioning = %q, want a hash routing", part)
 	}
 }
 
@@ -129,15 +180,22 @@ func TestPartitioningCoverage(t *testing.T) {
 // machines the record still captures both throughputs.
 func TestNexmarkBench(t *testing.T) {
 	events, runs := 60000, 3
-	if testing.Short() {
-		events, runs = 8000, 1
+	if testing.Short() || raceEnabled {
+		// Keep the Bid stream (46/50 of the mix) above the small-input
+		// gate so the partitioned path is still what gets measured; the
+		// join query's Auction+Person sources stay below it, exercising
+		// the gate's serial fallback exactly as at full scale.
+		events, runs = 12000, 1
 	}
 	g := Generate(GeneratorConfig{Seed: 7, NumEvents: events, MaxOutOfOrderness: 2 * types.Second})
-	rec := bench.New("nexmark", testing.Short())
+	rec := bench.New("nexmark", testing.Short() || raceEnabled)
 
 	mix := []Query{
 		{ID: 1, Name: "Currency conversion (stateless)", SQL: q1},
 		{ID: 3, Name: "Local item suggestion (equi join)", SQL: q3},
+		{ID: 4, Name: "Average price per category (two-stage)", SQL: q4, NeedsUnboundedGroupBy: true},
+		{ID: 5, Name: "Hot items (two-stage)", SQL: q5},
+		{ID: 6, Name: "Average selling price by seller (two-stage)", SQL: q6},
 		{ID: -1, Name: "Windowed aggregation", SQL: aggBenchSQL},
 	}
 	var aggResult *bench.QueryResult
@@ -150,7 +208,7 @@ func TestNexmarkBench(t *testing.T) {
 
 		var serialOut, parallelOut string
 		var outEvents, usedParts int
-		serialNs, err := bench.MedianNs(runs, func() error {
+		serialFn := func() error {
 			res, err := e.QueryStream(q.SQL)
 			if err != nil {
 				return err
@@ -158,11 +216,8 @@ func TestNexmarkBench(t *testing.T) {
 			serialOut = res.Format()
 			outEvents = res.Stats.OutputEvents
 			return nil
-		})
-		if err != nil {
-			t.Fatalf("%s serial: %v", q.Name, err)
 		}
-		parallelNs, err := bench.MedianNs(runs, func() error {
+		parallelFn := func() error {
 			res, err := e.QueryStreamParallel(q.SQL, benchParts)
 			if err != nil {
 				return err
@@ -170,9 +225,21 @@ func TestNexmarkBench(t *testing.T) {
 			parallelOut = res.Format()
 			usedParts = res.Stats.Partitions
 			return nil
-		})
+		}
+		// One warm-up run estimates the query's cost; cheap queries (the
+		// highly selective join finishes in a few ms) then get enough
+		// runs to spend ~300ms per side, since scheduler jitter swamps a
+		// 3-run median at that scale. The serial and partitioned timings
+		// interleave run by run so environmental drift cannot bias the
+		// reported speedup toward whichever side ran last.
+		est, err := bench.MedianNs(1, serialFn)
 		if err != nil {
-			t.Fatalf("%s parallel: %v", q.Name, err)
+			t.Fatalf("%s warm-up: %v", q.Name, err)
+		}
+		qRuns := stableRuns(runs, est)
+		serialNs, parallelNs, err := bench.MedianPairNs(qRuns, serialFn, parallelFn)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
 		}
 		if serialOut != parallelOut {
 			t.Fatalf("%s: serial and partitioned outputs differ at benchmark scale", q.Name)
@@ -192,7 +259,16 @@ func TestNexmarkBench(t *testing.T) {
 			q.Name, part, added.SerialEventsPerSec, added.ParallelEventsPerSec, added.Speedup)
 	}
 
-	if err := rec.WriteFile("../../BENCH_nexmark.json"); err != nil {
+	// Reduced-scale runs (short mode, race builds) write their own record:
+	// their numbers are not comparable to the committed full-scale one, and
+	// keeping the files separate is what lets `make bench-diff` and CI
+	// compare like for like (short vs. committed short) without `make
+	// verify` clobbering the full-scale baseline.
+	out := "../../BENCH_nexmark.json"
+	if rec.ShortMode {
+		out = "../../BENCH_nexmark_short.json"
+	}
+	if err := rec.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
 

@@ -117,14 +117,16 @@ func measureLive(t testing.TB, bids tvr.Changelog, mode live.Mode, parts int) be
 }
 
 // TestLiveBench measures steady-state subscription serving and writes
-// BENCH_live.json at the repository root.
+// BENCH_live.json (or, for reduced-scale short/race runs, the separate
+// BENCH_live_short.json, so the committed full-scale baseline survives
+// `make verify`) at the repository root.
 func TestLiveBench(t *testing.T) {
 	n := 30000
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		n = 4000
 	}
 	g := Generate(GeneratorConfig{Seed: 42, NumEvents: n, MaxOutOfOrderness: 2 * types.Second})
-	rec := bench.NewLive("nexmark-live", testing.Short())
+	rec := bench.NewLive("nexmark-live", testing.Short() || raceEnabled)
 	for _, cfg := range []struct {
 		mode  live.Mode
 		parts int
@@ -140,7 +142,11 @@ func TestLiveBench(t *testing.T) {
 			float64(res.Events)/(float64(res.IngestNs)/1e9),
 			time.Duration(res.LatencyP50Ns), time.Duration(res.LatencyP99Ns))
 	}
-	if err := rec.WriteFile("../../BENCH_live.json"); err != nil {
+	out := "../../BENCH_live.json"
+	if rec.ShortMode {
+		out = "../../BENCH_live_short.json"
+	}
+	if err := rec.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
 }

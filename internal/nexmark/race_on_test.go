@@ -1,0 +1,10 @@
+//go:build race
+
+package nexmark
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// The bench harness runs at reduced scale under -race: instrumentation slows
+// the goroutine-crossing path by an order of magnitude, the speedup bar never
+// arms there anyway (see TestNexmarkBench), and full scale belongs to `make
+// bench-full`.
+const raceEnabled = true

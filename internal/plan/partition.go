@@ -1,62 +1,133 @@
 package plan
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
 
 // This file derives the metadata for key-partitioned parallel execution: a
 // hash-routing assignment per scan under which the plan can run as N
-// independent per-partition operator chains whose merged output is identical
-// to serial execution.
+// per-partition operator chains whose merged output is identical to serial
+// execution.
 //
 // The analysis rests on one invariant: rows that can ever meet in a stateful
-// operator's state (the same aggregation group, the same join-key bucket, the
-// same DISTINCT row) must be routed to the same partition. Stateless
-// operators (filter, project, tumble/hop windows) never combine rows, so they
-// impose no constraint. A plan with no stateful operator at all may be
-// partitioned round-robin.
+// operator's *partition-resident* state (the same aggregation group, the same
+// join-key bucket, the same DISTINCT row) must be routed to the same
+// partition. Stateless operators (filter, project, tumble/hop windows) never
+// combine rows, so they impose no constraint. A plan with no stateful
+// operator at all may be partitioned round-robin.
 //
 // Bottom-up, each subtree reports:
 //
 //   - provenance: which output columns are verbatim copies of a scan column
 //     (hash routing must be computable at the scan, before any operator runs);
 //   - the partition-key slots already fixed by stateful operators below, as
-//     the output column positions carrying each key component.
+//     the output column positions carrying each key component;
+//   - whether the subtree's top already runs in the *serial tail* (see below).
 //
 // Stateful operators either create a constraint (choosing hashable columns
 // from their keys and assigning routing columns to the scans below) or check
 // that the inherited constraint is compatible (every key component must be
-// functionally preserved by their own grouping/join keys). Incompatible or
-// inherently global operators (keyless aggregation, session windows, set
-// operations, constant relations) make the plan non-partitionable and the
-// caller falls back to serial execution.
+// functionally preserved by their own grouping/join keys).
+//
+// When the check fails the plan is not abandoned. Instead the tree is *cut*:
+// the maximal partitionable subtrees below the failure keep running in the
+// parallel partition chains, and everything above the cut runs serially in
+// the merge tail, fed by the deterministic sequence-ordered exchange. Two cut
+// flavors exist:
+//
+//   - A re-keying Aggregate becomes a **two-stage aggregate**: a partial
+//     aggregate runs inside every partition chain (accumulating mergeable
+//     per-group partial states keyed by the new group columns) and a final
+//     aggregate in the serial tail merges the per-partition partials. This is
+//     only sound when every aggregate call is exactly mergeable — see
+//     twoStageEligible. If the aggregate's input carries no hash constraint
+//     at all, its scan is routed by the hash of the *entire* scan row, which
+//     keeps each partition's input a true sub-bag of the global bag (a
+//     retraction always lands in the partition holding the matching insert),
+//     the property MIN/MAX multisets need to stay retraction-correct.
+//   - Any other incompatibility (a join whose equi keys cannot align the two
+//     sides, DISTINCT above a projection that dropped the key, an operator
+//     above an already-serial subtree) cuts the offending child subtrees:
+//     their merged output feeds the corresponding serial operator in the
+//     tail. A cut subtree with no stateful operator routes round-robin (it
+//     has no partition-resident state to co-locate).
+//
+// Inherently global shapes (session windows over partitioned input, set
+// operations, constant relations) still make the plan non-partitionable and
+// the caller falls back to serial execution.
 
 // Partitioning is the routing assignment for a partitionable plan.
 type Partitioning struct {
 	// ScanKeys maps each Scan node of the plan to the ordered column
 	// indexes (in the scan's schema) whose values are hashed to route a
-	// row. Co-partitioned scans (join sides) list their columns in the
-	// same component order so matching rows hash identically.
+	// row. A present entry with a nil slice means the scan is routed
+	// round-robin (its subtree holds no partition-resident state).
+	// Co-partitioned scans (join sides) list their columns in the same
+	// component order so matching rows hash identically.
 	ScanKeys map[*Scan][]int
-	// RoundRobin is set when the plan has no stateful operator: any
+	// RoundRobin is set when the whole plan has no stateful operator: any
 	// deterministic routing preserves results, so the driver may balance
 	// load freely.
 	RoundRobin bool
+	// TwoStage marks the Aggregate nodes rewritten into a partial
+	// (per-partition) + final (serial tail) pair.
+	TwoStage map[*Aggregate]bool
 
+	cuts  map[Node]bool // exchange frontier; empty = whole plan partitioned
+	root  Node
 	order []*Scan // assignment order, for deterministic Describe output
 }
+
+// CutNodes returns the exchange frontier in plan DFS order: the maximal
+// subtrees that run inside the partition chains. Each cut feeds one exchange
+// port of the serial tail; a cut that is a two-stage Aggregate contributes a
+// partial operator per chain and a final operator in the tail. For a fully
+// partitionable plan the frontier is the root itself.
+func (p *Partitioning) CutNodes() []Node {
+	if len(p.cuts) == 0 {
+		return []Node{p.root}
+	}
+	var out []Node
+	var walk func(n Node)
+	walk = func(n Node) {
+		if p.cuts[n] {
+			out = append(out, n)
+			return // nothing below a cut is another cut
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	return out
+}
+
+// IsTwoStage reports whether the plan uses partial/final aggregation.
+func (p *Partitioning) IsTwoStage() bool { return len(p.TwoStage) > 0 }
 
 // Describe renders the routing assignment deterministically.
 func (p *Partitioning) Describe() string {
 	if p.RoundRobin {
 		return "round-robin"
 	}
-	s := ""
+	var sb strings.Builder
+	if len(p.TwoStage) > 0 {
+		fmt.Fprintf(&sb, "two-stage(%d) ", len(p.TwoStage))
+	}
 	for i, sc := range p.order {
 		if i > 0 {
-			s += ", "
+			sb.WriteString(", ")
 		}
-		s += fmt.Sprintf("hash(%s:%v)", sc.Name, p.ScanKeys[sc])
+		if cols := p.ScanKeys[sc]; cols == nil {
+			fmt.Fprintf(&sb, "round-robin(%s)", sc.Name)
+		} else {
+			fmt.Fprintf(&sb, "hash(%s:%v)", sc.Name, cols)
+		}
 	}
-	return s
+	return sb.String()
 }
 
 // provRef records that an output column is a verbatim copy of a scan column.
@@ -77,23 +148,36 @@ type slotRef struct {
 type partInfo struct {
 	prov  []provRef
 	slots []slotRef // nil while no stateful operator constrained the subtree
+	// serial marks a subtree whose top runs in the serial tail (at or
+	// above an exchange cut); prov and slots are meaningless above it.
+	serial bool
 }
+
+var serialInfo = &partInfo{serial: true}
 
 // DerivePartitioning computes the hash-routing assignment for the planned
 // query, or an error explaining why the plan must run serially.
 func DerivePartitioning(pq *PlannedQuery) (*Partitioning, error) {
-	p := &Partitioning{ScanKeys: make(map[*Scan][]int)}
+	p := &Partitioning{
+		ScanKeys: make(map[*Scan][]int),
+		TwoStage: make(map[*Aggregate]bool),
+		cuts:     make(map[Node]bool),
+		root:     pq.Root,
+	}
 	info, err := p.analyze(pq.Root)
 	if err != nil {
 		return nil, err
 	}
-	if info.slots == nil {
-		p.RoundRobin = true
-		return p, nil
+	if !info.serial {
+		p.cuts = nil // the whole plan is one partitioned chain
+		if info.slots == nil {
+			p.RoundRobin = true
+			return p, nil
+		}
 	}
-	// Safety net: a constrained plan must have every scan assigned. The
-	// operator cases guarantee this (any two-input combiner is stateful or
-	// non-partitionable), but verify rather than silently mis-route.
+	// Safety net: every scan must have a routing decision (hash columns or
+	// an explicit round-robin entry). The operator cases guarantee this,
+	// but verify rather than silently mis-route.
 	var missing error
 	var walk func(n Node)
 	walk = func(n Node) {
@@ -113,6 +197,94 @@ func DerivePartitioning(pq *PlannedQuery) (*Partitioning, error) {
 	return p, nil
 }
 
+// twoStageEligible reports whether the aggregate's calls can be split into a
+// per-partition partial and an exactly-merging serial final. The merge must
+// reproduce the serial accumulator's value at *every* input prefix, or the
+// byte-identical output contract breaks:
+//
+//   - COUNT/COUNT(*) merge by integer addition;
+//   - SUM merges exactly for BIGINT/INTERVAL arguments (integer addition is
+//     associative); floating-point sums are order-dependent and stay serial;
+//   - AVG carries (exact integer sum, count) for BIGINT arguments;
+//   - MIN/MAX carry the partition extremum; each partition keeps its own
+//     retraction-correct multiset, and sub-bag routing (see full-row hashing
+//     above) makes the extremum-of-extremums the global extremum;
+//   - DISTINCT aggregates cannot merge at all: the same value may reach
+//     several partitions, so per-partition distinct states double-count.
+func twoStageEligible(x *Aggregate) error {
+	for _, call := range x.Aggs {
+		if call.Distinct {
+			return fmt.Errorf("plan: DISTINCT aggregate %s cannot be split into partial/final stages", call.Describe())
+		}
+		switch call.Kind {
+		case AggCountStar, AggCount, AggMin, AggMax:
+			// Always mergeable.
+		case AggSum:
+			if call.K == types.KindFloat64 {
+				return fmt.Errorf("plan: floating-point %s is order-dependent and cannot merge exactly", call.Describe())
+			}
+		case AggAvg:
+			if call.Arg.Kind() == types.KindFloat64 {
+				return fmt.Errorf("plan: floating-point %s is order-dependent and cannot merge exactly", call.Describe())
+			}
+		default:
+			return fmt.Errorf("plan: aggregate %s has no partial/final form", call.Describe())
+		}
+	}
+	return nil
+}
+
+// cutChild marks a (fully partitionable, non-serial) subtree as an exchange
+// cut: it runs in the partition chains and its merged output feeds the serial
+// tail. A subtree that never acquired a hash constraint holds no
+// partition-resident state, so its scans route round-robin.
+func (p *Partitioning) cutChild(n Node, info *partInfo) {
+	p.cuts[n] = true
+	if info.slots == nil {
+		p.assignRoundRobin(n)
+	}
+}
+
+// assignScans records a routing for every unassigned scan of the subtree,
+// with cols choosing the per-scan routing key (nil = round-robin).
+func (p *Partitioning) assignScans(n Node, cols func(*Scan) []int) {
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			if _, done := p.ScanKeys[s]; !done {
+				p.ScanKeys[s] = cols(s)
+				p.order = append(p.order, s)
+			}
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+}
+
+// assignRoundRobin records a round-robin routing for every unassigned scan of
+// the subtree.
+func (p *Partitioning) assignRoundRobin(n Node) {
+	p.assignScans(n, func(*Scan) []int { return nil })
+}
+
+// assignFullRow routes every unassigned scan of the subtree by the hash of
+// its entire row. Used below a two-stage aggregate whose input has no
+// inherited constraint: identical scan rows co-locate, so each partition's
+// partial input is a true sub-bag of the global bag and retractions always
+// meet the state they retract.
+func (p *Partitioning) assignFullRow(n Node) {
+	p.assignScans(n, func(s *Scan) []int {
+		cols := make([]int, s.Sch.Len())
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols
+	})
+}
+
 func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 	switch x := n.(type) {
 	case *Scan:
@@ -130,6 +302,9 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		in, err := p.analyze(x.Input)
 		if err != nil {
 			return nil, err
+		}
+		if in.serial {
+			return serialInfo, nil
 		}
 		out := &partInfo{prov: make([]provRef, len(x.Exprs))}
 		for i, e := range x.Exprs {
@@ -152,12 +327,17 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		return out, nil
 
 	case *WindowTVF:
-		if x.Fn == SessionFn {
-			return nil, fmt.Errorf("plan: session windows merge across arbitrary rows and cannot be hash-partitioned")
-		}
 		in, err := p.analyze(x.Input)
 		if err != nil {
 			return nil, err
+		}
+		if in.serial {
+			// The session/tumble/hop operator itself runs in the tail,
+			// where it sees the merged serial-order stream.
+			return serialInfo, nil
+		}
+		if x.Fn == SessionFn {
+			return nil, fmt.Errorf("plan: session windows merge across arbitrary rows and cannot be hash-partitioned")
 		}
 		// Tumble/Hop append wstart/wend per row; input columns keep their
 		// positions, the appended columns have no scan provenance.
@@ -170,6 +350,9 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		if err != nil {
 			return nil, err
 		}
+		if in.serial {
+			return serialInfo, nil
+		}
 		if in.slots == nil {
 			// DISTINCT's state key is the whole row: equal rows agree on
 			// every column, so hashing any provenance-backed subset
@@ -181,7 +364,10 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 				}
 			}
 			if len(cols) == 0 {
-				return nil, fmt.Errorf("plan: DISTINCT input has no scan-backed column to hash")
+				// No scan-backed column to hash: run DISTINCT serially
+				// in the tail over the merged (round-robin) input.
+				p.cutChild(x.Input, in)
+				return serialInfo, nil
 			}
 			if err := p.assign(in, cols); err != nil {
 				return nil, err
@@ -195,10 +381,12 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		// Constrained input: equal rows co-locate only if every
 		// partition-key component is still present in the row (a
 		// projection may have dropped the key columns, after which equal
-		// rows can hash apart).
-		for si, s := range in.slots {
+		// rows can hash apart). Otherwise cut: the input stays
+		// partitioned on its own key and DISTINCT runs in the tail.
+		for _, s := range in.slots {
 			if len(s.positions) == 0 {
-				return nil, fmt.Errorf("plan: DISTINCT input no longer carries the partition key (component %d)", si)
+				p.cutChild(x.Input, in)
+				return serialInfo, nil
 			}
 		}
 		return in, nil
@@ -207,6 +395,9 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		in, err := p.analyze(x.Input)
 		if err != nil {
 			return nil, err
+		}
+		if in.serial {
+			return serialInfo, nil
 		}
 		out := &partInfo{prov: make([]provRef, x.Sch.Len())}
 		for ki, k := range x.Keys {
@@ -226,7 +417,16 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 				}
 			}
 			if len(inCols) == 0 {
-				return nil, fmt.Errorf("plan: aggregation has no hash-partitionable grouping key")
+				// No scan-backed grouping key (grouping only by derived
+				// columns, or a global aggregate): split into a
+				// full-row-hashed partial and a serial final.
+				if merr := twoStageEligible(x); merr != nil {
+					return nil, fmt.Errorf("plan: aggregation has no hash-partitionable grouping key and %v", merr)
+				}
+				p.TwoStage[x] = true
+				p.cuts[x] = true
+				p.assignFullRow(x.Input)
+				return serialInfo, nil
 			}
 			if err := p.assign(in, inCols); err != nil {
 				return nil, err
@@ -241,6 +441,7 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		// must be one of this aggregation's grouping keys, otherwise a
 		// group would span partitions.
 		out.slots = make([]slotRef, len(in.slots))
+		compatible := true
 		for si, s := range in.slots {
 			var pos []int
 			for ki, k := range x.Keys {
@@ -249,9 +450,21 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 				}
 			}
 			if len(pos) == 0 {
-				return nil, fmt.Errorf("plan: grouping keys do not preserve the partition key (component %d)", si)
+				compatible = false
+				break
 			}
 			out.slots[si] = slotRef{positions: pos}
+		}
+		if !compatible {
+			// The aggregate re-keys incompatibly with the inherited
+			// routing: keep the input partitioned on its existing key,
+			// accumulate partials per partition, merge in the tail.
+			if merr := twoStageEligible(x); merr != nil {
+				return nil, fmt.Errorf("plan: grouping keys do not preserve the partition key and %v", merr)
+			}
+			p.TwoStage[x] = true
+			p.cuts[x] = true
+			return serialInfo, nil
 		}
 		return out, nil
 
@@ -264,10 +477,29 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		if err != nil {
 			return nil, err
 		}
+		switch {
+		case li.serial && ri.serial:
+			return serialInfo, nil
+		case li.serial:
+			p.cutChild(x.Right, ri)
+			return serialInfo, nil
+		case ri.serial:
+			p.cutChild(x.Left, li)
+			return serialInfo, nil
+		}
 		leftW := x.Left.Schema().Len()
 		out := &partInfo{prov: make([]provRef, len(li.prov)+len(ri.prov))}
 		copy(out.prov, li.prov)
 		copy(out.prov[leftW:], ri.prov)
+
+		// cutBoth demotes the join to the serial tail when its equi keys
+		// cannot co-partition the two sides; each side keeps whatever
+		// internal routing it already proved.
+		cutBoth := func() (*partInfo, error) {
+			p.cutChild(x.Left, li)
+			p.cutChild(x.Right, ri)
+			return serialInfo, nil
+		}
 
 		switch {
 		case li.slots == nil && ri.slots == nil:
@@ -284,7 +516,7 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 				}
 			}
 			if len(slots) == 0 {
-				return nil, fmt.Errorf("plan: join has no hash-partitionable equi key")
+				return cutBoth()
 			}
 			if err := p.assign(li, lCols); err != nil {
 				return nil, err
@@ -298,7 +530,7 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		case li.slots != nil && ri.slots == nil:
 			slots, rCols, err := alignJoinSide(li.slots, x.LeftKeys, x.RightKeys, ri, leftW, false)
 			if err != nil {
-				return nil, err
+				return cutBoth()
 			}
 			if err := p.assign(ri, rCols); err != nil {
 				return nil, err
@@ -309,7 +541,7 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 		case li.slots == nil && ri.slots != nil:
 			slots, lCols, err := alignJoinSide(ri.slots, x.RightKeys, x.LeftKeys, li, leftW, true)
 			if err != nil {
-				return nil, err
+				return cutBoth()
 			}
 			if err := p.assign(li, lCols); err != nil {
 				return nil, err
@@ -321,7 +553,7 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 			// Both sides already partitioned: the keys must pair up
 			// component-by-component through the equi predicates.
 			if len(li.slots) != len(ri.slots) {
-				return nil, fmt.Errorf("plan: join sides are partitioned by keys of different arity (%d vs %d)", len(li.slots), len(ri.slots))
+				return cutBoth()
 			}
 			out.slots = make([]slotRef, len(li.slots))
 			for si := range li.slots {
@@ -335,7 +567,7 @@ func (p *Partitioning) analyze(n Node) (*partInfo, error) {
 					}
 				}
 				if !found {
-					return nil, fmt.Errorf("plan: join equi keys do not align the two sides' partition keys (component %d)", si)
+					return cutBoth()
 				}
 			}
 			return out, nil

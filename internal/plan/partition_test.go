@@ -75,35 +75,94 @@ func TestPartitionJoinCoPartitions(t *testing.T) {
 }
 
 // TestPartitionAggOverJoinChecksCompatibility: an aggregation above a join
-// keeps the partitioning only when its grouping keys preserve the join key.
+// keeps the single-stage partitioning when its grouping keys preserve the
+// join key; a re-keying aggregation splits into partial/final stages instead.
 func TestPartitionAggOverJoinChecksCompatibility(t *testing.T) {
-	// Compatible: grouping includes the join key column.
-	if _, err := deriveUnbounded(t, `
+	// Compatible: grouping includes the join key column — one stage.
+	p, err := deriveUnbounded(t, `
 		SELECT Q.id, COUNT(*) FROM
 		(SELECT C.id id, B.item item FROM Bid B JOIN Category C ON B.price = C.id) Q
-		GROUP BY Q.id, Q.item`); err != nil {
+		GROUP BY Q.id, Q.item`)
+	if err != nil {
 		t.Fatalf("compatible grouping should partition: %v", err)
+	}
+	if p.IsTwoStage() {
+		t.Errorf("compatible grouping should stay single-stage, got %s", p.Describe())
 	}
 
 	// Incompatible: grouping by a non-key column would split join groups
-	// across partitions.
-	if _, err := deriveUnbounded(t, `
+	// across partitions, so the aggregate becomes partial/final: the join
+	// keeps its hash routing inside the chains and the final merge runs in
+	// the serial tail.
+	p, err = deriveUnbounded(t, `
 		SELECT Q.item, COUNT(*) FROM
 		(SELECT C.id id, B.item item FROM Bid B JOIN Category C ON B.price = C.id) Q
-		GROUP BY Q.item`); err == nil {
-		t.Fatal("expected incompatible grouping to fail")
+		GROUP BY Q.item`)
+	if err != nil {
+		t.Fatalf("re-keying grouping should go two-stage: %v", err)
+	}
+	if !p.IsTwoStage() {
+		t.Errorf("re-keying grouping should be two-stage, got %s", p.Describe())
+	}
+	if got := p.Describe(); !strings.HasPrefix(got, "two-stage(1) ") {
+		t.Errorf("Describe() = %q, want two-stage(1) prefix", got)
+	}
+	if cuts := p.CutNodes(); len(cuts) != 1 {
+		t.Errorf("CutNodes() = %d nodes, want 1 (the two-stage aggregate)", len(cuts))
+	} else if _, ok := cuts[0].(*Aggregate); !ok {
+		t.Errorf("cut node is %T, want *Aggregate", cuts[0])
 	}
 }
 
-// TestPartitionRejectsGlobalShapes: keyless aggregation, constant relations,
-// and set operations are inherently global.
-func TestPartitionRejectsGlobalShapes(t *testing.T) {
+// TestPartitionTwoStageNoHashableKey: an aggregate with no scan-backed
+// grouping key (grouping only by derived window columns, or no keys at all)
+// splits into partial/final stages with the scan routed by full-row hash, the
+// sub-bag property MIN/MAX need for retraction correctness.
+func TestPartitionTwoStageNoHashableKey(t *testing.T) {
 	for name, sql := range map[string]string{
-		"global aggregate": `SELECT COUNT(*) FROM Bid`,
+		"global aggregate": `SELECT COUNT(*), MAX(price) FROM Bid`,
 		"grouping by expression only": `
 			SELECT wend, COUNT(*)
 			FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES)
 			GROUP BY wend`,
+	} {
+		p, err := derive(t, sql)
+		if err != nil {
+			t.Errorf("%s: expected two-stage partitioning, got error: %v", name, err)
+			continue
+		}
+		if !p.IsTwoStage() {
+			t.Errorf("%s: expected two-stage, got %s", name, p.Describe())
+		}
+		// Full-row hashing lists every Bid column.
+		if got := p.Describe(); !strings.Contains(got, "hash(Bid:[0 1 2])") {
+			t.Errorf("%s: Describe() = %q, want a full-row Bid hash", name, got)
+		}
+	}
+}
+
+// TestPartitionTwoStageRequiresMergeableAggs: aggregate calls without an
+// exactly-merging partial form (DISTINCT, floating-point sums) keep the plan
+// serial.
+func TestPartitionTwoStageRequiresMergeableAggs(t *testing.T) {
+	for name, sql := range map[string]string{
+		"distinct count": `
+			SELECT Q.item, COUNT(DISTINCT Q.id) FROM
+			(SELECT C.id id, B.item item FROM Bid B JOIN Category C ON B.price = C.id) Q
+			GROUP BY Q.item`,
+		"float sum": `SELECT SUM(price * 0.5) FROM Bid`,
+		"float avg": `SELECT AVG(price * 0.5) FROM Bid`,
+	} {
+		if _, err := deriveUnbounded(t, sql); err == nil {
+			t.Errorf("%s: expected serial fallback", name)
+		}
+	}
+}
+
+// TestPartitionRejectsGlobalShapes: constant relations and set operations are
+// inherently global (they emit at open time or cannot be co-partitioned).
+func TestPartitionRejectsGlobalShapes(t *testing.T) {
+	for name, sql := range map[string]string{
 		"values":    `SELECT 1 + 2`,
 		"union":     `SELECT item FROM Bid UNION ALL SELECT name FROM Category`,
 		"intersect": `SELECT item FROM Bid INTERSECT SELECT name FROM Category`,
@@ -123,20 +182,31 @@ func TestPartitionDistinctHashesRow(t *testing.T) {
 	}
 }
 
-// TestPartitionDistinctRequiresSurvivingKey: DISTINCT above a projection
-// that drops the partition-key columns must fall back — equal projected rows
-// could otherwise hash to different partitions and each emit the row once
-// (regression test: this shape produced duplicate rows before the check).
+// TestPartitionDistinctRequiresSurvivingKey: DISTINCT above a projection that
+// drops the partition-key columns cannot run inside the chains — equal
+// projected rows could hash to different partitions and each emit the row
+// once (this shape produced duplicate rows before the check). The input
+// subtree is cut instead: it stays partitioned on the join key and DISTINCT
+// runs serially in the tail over the merged stream.
 func TestPartitionDistinctRequiresSurvivingKey(t *testing.T) {
-	// The join partitions on B.price = C.id, but only item survives the
-	// projection, so equal (item) rows may carry different join keys.
-	if _, err := derive(t, `
-		SELECT DISTINCT B.item FROM Bid B JOIN Category C ON B.price = C.id`); err == nil {
-		t.Fatal("expected serial fallback when the projection drops the partition key")
+	p, err := derive(t, `
+		SELECT DISTINCT B.item FROM Bid B JOIN Category C ON B.price = C.id`)
+	if err != nil {
+		t.Fatalf("key-dropping DISTINCT should cut to a serial tail: %v", err)
 	}
-	// Keeping the key column restores partitionability.
-	if _, err := derive(t, `
-		SELECT DISTINCT B.item, B.price FROM Bid B JOIN Category C ON B.price = C.id`); err != nil {
+	if got := len(p.CutNodes()); got != 1 {
+		t.Errorf("CutNodes() = %d, want 1 (the projection below DISTINCT)", got)
+	}
+	if p.IsTwoStage() {
+		t.Errorf("DISTINCT cut is not a two-stage aggregate: %s", p.Describe())
+	}
+	// Keeping the key column keeps DISTINCT inside the chains (no cut).
+	p, err = derive(t, `
+		SELECT DISTINCT B.item, B.price FROM Bid B JOIN Category C ON B.price = C.id`)
+	if err != nil {
 		t.Fatalf("key-preserving DISTINCT should partition: %v", err)
+	}
+	if cuts := p.CutNodes(); len(cuts) != 1 || cuts[0] != p.root {
+		t.Errorf("key-preserving DISTINCT should be a whole-plan chain, got %d cuts", len(cuts))
 	}
 }

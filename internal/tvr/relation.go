@@ -14,6 +14,7 @@ type Relation struct {
 	entries map[string]*entry
 	order   []string // keys in first-insertion order
 	size    int      // total multiplicity
+	scratch []byte   // reusable key-encoding buffer for the non-keyed paths
 }
 
 type entry struct {
@@ -26,19 +27,45 @@ func NewRelation() *Relation {
 	return &Relation{entries: make(map[string]*entry)}
 }
 
-// Insert adds one copy of row to the bag.
-func (r *Relation) Insert(row types.Row) { r.InsertKeyed(row, row.Key()) }
+// Insert adds one copy of row to the bag. The row's key is encoded into the
+// relation's scratch buffer; the key string is only materialized when the row
+// enters the bag for the first time (map lookups through string(scratch) are
+// allocation-free).
+func (r *Relation) Insert(row types.Row) {
+	r.scratch = row.AppendKey(r.scratch[:0])
+	if e, ok := r.entries[string(r.scratch)]; ok {
+		if e.count == 0 {
+			// Materialize the key only on the cold re-entry branch.
+			r.bump(e, string(r.scratch))
+		} else {
+			e.count++
+			r.size++
+		}
+		return
+	}
+	r.insertNew(row, string(r.scratch))
+}
 
 // InsertKeyed is Insert with the row's serialized key precomputed by the
 // caller (k must equal row.Key()); the parallel executor hashes rows in
 // worker goroutines and reuses the serialization here.
 func (r *Relation) InsertKeyed(row types.Row, k string) {
-	e, ok := r.entries[k]
-	if !ok {
-		e = &entry{row: row.Clone()}
-		r.entries[k] = e
-		r.order = append(r.order, k)
-	} else if e.count == 0 {
+	if e, ok := r.entries[k]; ok {
+		r.bump(e, k)
+		return
+	}
+	r.insertNew(row, k)
+}
+
+func (r *Relation) insertNew(row types.Row, k string) {
+	e := &entry{row: row.Clone(), count: 1}
+	r.entries[k] = e
+	r.order = append(r.order, k)
+	r.size++
+}
+
+func (r *Relation) bump(e *entry, k string) {
+	if e.count == 0 {
 		// Re-entering the bag: move to the back of the iteration order.
 		r.removeFromOrder(k)
 		r.order = append(r.order, k)
@@ -50,7 +77,16 @@ func (r *Relation) InsertKeyed(row types.Row, k string) {
 // Delete removes one copy of row from the bag. Deleting a row that is not
 // present is an error: it means an upstream operator emitted an unmatched
 // retraction, which would silently corrupt downstream state.
-func (r *Relation) Delete(row types.Row) error { return r.DeleteKeyed(row, row.Key()) }
+func (r *Relation) Delete(row types.Row) error {
+	r.scratch = row.AppendKey(r.scratch[:0])
+	e, ok := r.entries[string(r.scratch)]
+	if !ok || e.count == 0 {
+		return fmt.Errorf("tvr: retraction of absent row %s", row)
+	}
+	e.count--
+	r.size--
+	return nil
+}
 
 // DeleteKeyed is Delete with the row's serialized key precomputed (k must
 // equal row.Key()).

@@ -1,0 +1,41 @@
+package tvr
+
+// Micro-benchmark guarding the relation's keyed-apply hot path: folding a
+// data event into the bag encodes the row key into the relation's reusable
+// scratch buffer and looks the entry up allocation-free; the key string is
+// only materialized when a row first enters the bag. Run with -benchmem.
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// BenchmarkKeyedApply alternates inserts and deletes over a fixed working set
+// of rows, the steady-state shape of a materialized aggregate output.
+func BenchmarkKeyedApply(b *testing.B) {
+	rows := make([]types.Row, 256)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i) * 1.5),
+			types.NewString("abcdefghij"),
+			types.NewTimestamp(types.Time(i * 1000)),
+		}
+	}
+	r := NewRelation()
+	for _, row := range rows {
+		r.Insert(row) // keep one resident copy so deletes never underflow
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Insert a row, then delete that same copy on the next iteration.
+		row := rows[(i/2)%len(rows)]
+		if i%2 == 0 {
+			r.Insert(row)
+		} else if err := r.Delete(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -58,6 +58,17 @@ func (r Row) Key() string {
 	return string(b)
 }
 
+// AppendKey appends the row's canonical Key encoding to dst and returns the
+// extended slice. Hot paths pass a reusable scratch buffer and look maps up
+// via m[string(buf)] (which the compiler keeps allocation-free), so the
+// string is only materialized when a new map entry is actually created.
+func (r Row) AppendKey(dst []byte) []byte {
+	for _, v := range r {
+		dst = appendValueKey(dst, v)
+	}
+	return dst
+}
+
 // KeyOf returns the canonical encoding of the values at the given indexes,
 // the grouping/join-key analogue of Key.
 func (r Row) KeyOf(idxs []int) string {
@@ -67,6 +78,18 @@ func (r Row) KeyOf(idxs []int) string {
 	}
 	return string(b)
 }
+
+// AppendKeyOf is the scratch-buffer variant of KeyOf; see AppendKey.
+func (r Row) AppendKeyOf(dst []byte, idxs []int) []byte {
+	for _, idx := range idxs {
+		dst = appendValueKey(dst, r[idx])
+	}
+	return dst
+}
+
+// AppendKey appends the value's canonical single-value key encoding to dst,
+// the scalar analogue of Row.AppendKey (used by accumulator multisets).
+func (v Value) AppendKey(dst []byte) []byte { return appendValueKey(dst, v) }
 
 func appendValueKey(b []byte, v Value) []byte {
 	switch v.kind {
