@@ -27,23 +27,28 @@ race:
 bench:
 	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench' -short -v
 
-# Standing-query serving benchmark: ingests the NEXMark bid stream through a
-# live subscription and refreshes BENCH_live.json (steady-state throughput +
-# per-delta latency percentiles).
+# Standing-query serving benchmark: ingests the NEXMark bid stream through
+# live subscriptions — single-subscriber scenarios plus the K-subscriber
+# shared-vs-unshared fan-out — and refreshes BENCH_live.json (steady-state
+# throughput + per-delta latency percentiles).
 bench-live:
 	$(GO) test ./internal/nexmark -run TestLiveBench -v -timeout 10m
 
-# Compare a fresh short benchmark run against the committed short-mode
-# baseline (like for like — short runs never compare against the
-# full-scale BENCH_nexmark.json): snapshots the baseline, reruns the
-# short bench (which rewrites BENCH_nexmark_short.json), and prints
-# per-query speedup deltas.
+# Compare fresh short benchmark runs against the committed short-mode
+# baselines (like for like — short runs never compare against the
+# full-scale BENCH_nexmark.json / BENCH_live.json): snapshots both
+# baselines, reruns the short benches (which rewrite
+# BENCH_nexmark_short.json and BENCH_live_short.json), and prints
+# per-query speedup deltas plus per-subscription fan-out throughput deltas.
 bench-diff:
 	@base=$$(mktemp -t bench_base.XXXXXX.json) && \
+	livebase=$$(mktemp -t bench_live_base.XXXXXX.json) && \
 	cp BENCH_nexmark_short.json $$base && \
-	$(GO) test ./internal/nexmark -run TestNexmarkBench -short && \
-	$(GO) run ./cmd/benchdiff $$base BENCH_nexmark_short.json; \
-	status=$$?; rm -f $$base; exit $$status
+	cp BENCH_live_short.json $$livebase && \
+	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestLiveBench' -short && \
+	$(GO) run ./cmd/benchdiff $$base BENCH_nexmark_short.json && \
+	$(GO) run ./cmd/benchdiff $$livebase BENCH_live_short.json; \
+	status=$$?; rm -f $$base $$livebase; exit $$status
 
 # Full-scale benchmark: regenerates BENCH_nexmark.json at 60k events and
 # enforces the >=1.5x partitioned speedup bar on machines with >=4 cores

@@ -1,8 +1,12 @@
-// Command benchdiff compares two NEXMark benchmark records — typically the
-// committed baseline and a fresh run at the same scale — and prints
-// per-query throughput and speedup deltas, so a perf regression is visible
-// as one table in a PR. `make bench-diff` and CI wire it like for like:
-// a fresh short run against the committed BENCH_nexmark_short.json.
+// Command benchdiff compares two benchmark records — typically the committed
+// baseline and a fresh run at the same scale — and prints per-entry
+// throughput deltas, so a perf regression is visible as one table in a PR.
+// It understands both record shapes the harness emits: NEXMark one-shot
+// records (BENCH_nexmark*.json, per-query serial-vs-partitioned speedups)
+// and standing-query records (BENCH_live*.json, per-subscription ingest
+// throughput and delta latency, including the K-subscriber shared-plan
+// fan-out rows). `make bench-diff` and CI wire it like for like: fresh short
+// runs against the committed short-mode baselines.
 //
 // Usage:
 //
@@ -18,9 +22,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
+
+// record is the union of the two on-disk shapes: exactly one of Queries and
+// Subscriptions is populated.
+type record struct {
+	Benchmark     string              `json:"benchmark"`
+	Timestamp     string              `json:"timestamp"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	ShortMode     bool                `json:"short_mode"`
+	Queries       []bench.QueryResult `json:"queries"`
+	Subscriptions []bench.LiveResult  `json:"subscriptions"`
+}
 
 func main() {
 	if len(os.Args) != 3 {
@@ -35,15 +51,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diff(os.Stdout, oldRec, newRec)
+	header(os.Stdout, oldRec, newRec)
+	switch {
+	case len(newRec.Subscriptions) > 0 || len(oldRec.Subscriptions) > 0:
+		diffLive(os.Stdout, oldRec, newRec)
+	default:
+		diffQueries(os.Stdout, oldRec, newRec)
+	}
 }
 
-func load(path string) (*bench.Record, error) {
+func load(path string) (*record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var rec bench.Record
+	var rec record
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -55,38 +77,76 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// key identifies a query across records (IDs repeat only for ad-hoc -1
-// entries, which are disambiguated by name).
-func key(q bench.QueryResult) string { return fmt.Sprintf("%d/%s", q.ID, q.Name) }
-
-func diff(w *os.File, oldRec, newRec *bench.Record) {
-	fmt.Fprintf(w, "baseline: %s (%d queries, gomaxprocs=%d, short=%v)\n",
-		oldRec.Timestamp, len(oldRec.Queries), oldRec.GoMaxProcs, oldRec.ShortMode)
-	fmt.Fprintf(w, "fresh:    %s (%d queries, gomaxprocs=%d, short=%v)\n\n",
-		newRec.Timestamp, len(newRec.Queries), newRec.GoMaxProcs, newRec.ShortMode)
+func header(w *os.File, oldRec, newRec *record) {
+	fmt.Fprintf(w, "baseline: %s %s (%d entries, gomaxprocs=%d, short=%v)\n",
+		oldRec.Benchmark, oldRec.Timestamp, len(oldRec.Queries)+len(oldRec.Subscriptions),
+		oldRec.GoMaxProcs, oldRec.ShortMode)
+	fmt.Fprintf(w, "fresh:    %s %s (%d entries, gomaxprocs=%d, short=%v)\n\n",
+		newRec.Benchmark, newRec.Timestamp, len(newRec.Queries)+len(newRec.Subscriptions),
+		newRec.GoMaxProcs, newRec.ShortMode)
 	if oldRec.ShortMode != newRec.ShortMode || oldRec.GoMaxProcs != newRec.GoMaxProcs {
 		fmt.Fprintf(w, "note: environments differ; deltas are indicative only\n\n")
 	}
+}
 
+// queryKey identifies a query across records (IDs repeat only for ad-hoc -1
+// entries, which are disambiguated by name).
+func queryKey(q bench.QueryResult) string { return fmt.Sprintf("%d/%s", q.ID, q.Name) }
+
+func diffQueries(w *os.File, oldRec, newRec *record) {
 	byKey := make(map[string]bench.QueryResult, len(oldRec.Queries))
 	for _, q := range oldRec.Queries {
-		byKey[key(q)] = q
+		byKey[queryKey(q)] = q
 	}
 	fmt.Fprintf(w, "%-44s %14s %14s %9s %9s %8s\n",
 		"query", "serial ev/s", "parallel ev/s", "speedup", "baseline", "delta")
 	for _, nq := range newRec.Queries {
-		oq, ok := byKey[key(nq)]
+		oq, ok := byKey[queryKey(nq)]
 		line := fmt.Sprintf("%-44.44s %14.0f %14.0f %8.2fx", nq.Name, nq.SerialEventsPerSec, nq.ParallelEventsPerSec, nq.Speedup)
 		if !ok {
 			fmt.Fprintf(w, "%s %9s %8s\n", line, "(new)", "")
 			continue
 		}
-		delete(byKey, key(nq))
+		delete(byKey, queryKey(nq))
 		fmt.Fprintf(w, "%s %8.2fx %+7.1f%%\n", line, oq.Speedup, pct(nq.Speedup, oq.Speedup))
 	}
 	for _, oq := range oldRec.Queries {
-		if _, gone := byKey[key(oq)]; gone {
+		if _, gone := byKey[queryKey(oq)]; gone {
 			fmt.Fprintf(w, "%-44.44s %14s %14s %9s %8.2fx (removed)\n", oq.Name, "-", "-", "-", oq.Speedup)
+		}
+	}
+}
+
+// liveKey identifies a standing-query scenario across records: the same
+// query measured at a different mode, parallelism, fan-out width, or
+// sharing posture is a different row.
+func liveKey(q bench.LiveResult) string {
+	return fmt.Sprintf("%s/%s/p%d/k%d/shared=%v", q.Query, q.Mode, q.Partitions, q.Subscribers, q.Shared)
+}
+
+func diffLive(w *os.File, oldRec, newRec *record) {
+	byKey := make(map[string]bench.LiveResult, len(oldRec.Subscriptions))
+	for _, q := range oldRec.Subscriptions {
+		byKey[liveKey(q)] = q
+	}
+	fmt.Fprintf(w, "%-40s %-6s %3s %3s %7s %12s %10s %10s %12s %8s\n",
+		"subscription", "mode", "p", "k", "shared", "ingest ev/s", "p50", "p99", "baseline", "delta")
+	for _, nq := range newRec.Subscriptions {
+		line := fmt.Sprintf("%-40.40s %-6s %3d %3d %7v %12.0f %10s %10s",
+			nq.Query, nq.Mode, nq.Partitions, nq.Subscribers, nq.Shared, nq.EventsPerSec,
+			time.Duration(nq.LatencyP50Ns), time.Duration(nq.LatencyP99Ns))
+		oq, ok := byKey[liveKey(nq)]
+		if !ok {
+			fmt.Fprintf(w, "%s %12s %8s\n", line, "(new)", "")
+			continue
+		}
+		delete(byKey, liveKey(nq))
+		fmt.Fprintf(w, "%s %12.0f %+7.1f%%\n", line, oq.EventsPerSec, pct(nq.EventsPerSec, oq.EventsPerSec))
+	}
+	for _, oq := range oldRec.Subscriptions {
+		if _, gone := byKey[liveKey(oq)]; gone {
+			fmt.Fprintf(w, "%-40.40s %-6s %3d %3d %7v %12s (removed, was %.0f ev/s)\n",
+				oq.Query, oq.Mode, oq.Partitions, oq.Subscribers, oq.Shared, "-", oq.EventsPerSec)
 		}
 	}
 }

@@ -6,6 +6,15 @@ package main
 // ndjson response. It exists so the engine can run as a long-lived process
 // serving live traffic instead of a per-query batch tool.
 //
+// Standing queries share plans: concurrent subscriptions with the same
+// (SQL, mode, effective partitions) are served from one resident pipeline,
+// each over its own delivery cursor, so N identical subscribers cost one
+// compilation and one incremental evaluation per ingested change. The
+// /v1/subscriptions listing exposes the sharing: each entry reports the
+// resident pipeline's id and how many subscribers are attached to it
+// (entries sharing a pipeline report the same id). Pass exclusive=1 to
+// /v1/subscribe to opt a subscription out of sharing.
+//
 // Endpoints:
 //
 //	POST /v1/relations                  register a stream or table
@@ -13,9 +22,9 @@ package main
 //	POST /v1/heartbeat                  advance processing time for EMIT AFTER DELAY
 //	GET  /v1/query?sql=&at=&mode=       one-shot table or stream rendering
 //	GET  /v1/subscribe?sql=&mode=&...   standing query; chunked ndjson deltas
-//	GET  /v1/subscriptions              per-subscription stats
+//	GET  /v1/subscriptions              per-subscription stats + plan sharing
 //	DELETE /v1/subscriptions/{id}       cancel a standing query
-//	GET  /v1/healthz                    liveness + session count
+//	GET  /v1/healthz                    liveness + pipeline/subscriber counts
 import (
 	"encoding/json"
 	"fmt"
@@ -472,6 +481,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("policy must be block or drop"))
 		return
 	}
+	switch q.Get("exclusive") {
+	case "", "0", "false":
+	case "1", "true":
+		opts.Exclusive = true
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("exclusive must be 0 or 1"))
+		return
+	}
 	mode := q.Get("mode")
 	var sub *live.Subscription
 	var err error
@@ -565,6 +582,10 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 			"eventsIn": st.EventsIn, "deltasOut": st.DeltasOut,
 			"rowsOut": st.RowsOut, "watermark": int64(st.Watermark),
 			"queueDepth": st.QueueDepth, "partitions": st.Partitions,
+			// Plan sharing: subscriptions served from the same resident
+			// pipeline report the same pipeline id and the count of
+			// subscribers attached to it.
+			"pipeline": st.PipelineID, "subscribers": st.Subscribers,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"subscriptions": out})
@@ -590,5 +611,6 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok": true, "liveSessions": s.engine.LiveSessions(),
+		"liveSubscribers": s.engine.LiveSubscribers(),
 	})
 }

@@ -250,6 +250,70 @@ func TestServeIngestAtomicity(t *testing.T) {
 	}
 }
 
+// TestServeSharedSubscriptions: two standing queries with the same SQL are
+// served from one resident pipeline (same pipeline id, subscribers=2 in the
+// listing), while exclusive=1 opts out; healthz distinguishes pipelines from
+// subscribers.
+func TestServeSharedSubscriptions(t *testing.T) {
+	ts, c := newTestServer(t)
+	registerBid(t, c, ts.URL)
+	sql := queryEscape(`SELECT auction, price FROM Bid WHERE price > 900`)
+
+	open := func(extra string) *http.Response {
+		t.Helper()
+		resp, err := c.Get(ts.URL + "/v1/subscribe?sql=" + sql + extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("subscribe: status %d", resp.StatusCode)
+		}
+		// Read the schema line so the subscription is fully established
+		// before we inspect the listing.
+		if sc := bufio.NewScanner(resp.Body); !sc.Scan() {
+			t.Fatal("no schema line")
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	open("")
+	open("")
+	open("&exclusive=1")
+
+	code, stats := getJSON(t, c, ts.URL+"/v1/subscriptions")
+	if code != http.StatusOK {
+		t.Fatalf("subscriptions: status %d", code)
+	}
+	entries := stats["subscriptions"].([]any)
+	if len(entries) != 3 {
+		t.Fatalf("%d subscriptions listed, want 3", len(entries))
+	}
+	byPipeline := map[int][]float64{}
+	for _, e := range entries {
+		m := e.(map[string]any)
+		byPipeline[int(m["pipeline"].(float64))] = append(
+			byPipeline[int(m["pipeline"].(float64))], m["subscribers"].(float64))
+	}
+	if len(byPipeline) != 2 {
+		t.Fatalf("subscriptions span %d pipelines, want 2 (shared pair + exclusive): %v", len(byPipeline), byPipeline)
+	}
+	for id, subs := range byPipeline {
+		want := float64(len(subs))
+		for _, s := range subs {
+			if s != want {
+				t.Fatalf("pipeline %d reports %v subscribers, want %v", id, s, want)
+			}
+		}
+	}
+	code, hz := getJSON(t, c, ts.URL+"/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if hz["liveSessions"].(float64) != 2 || hz["liveSubscribers"].(float64) != 3 {
+		t.Fatalf("healthz = %v, want 2 pipelines / 3 subscribers", hz)
+	}
+}
+
 func deltaPrices(t *testing.T, d map[string]any) []int64 {
 	t.Helper()
 	rows, ok := d["rows"].([]any)

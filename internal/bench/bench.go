@@ -98,6 +98,11 @@ type LiveResult struct {
 	Mode string `json:"mode"`
 	// Partitions is the standing pipeline's parallelism (1 = serial).
 	Partitions int `json:"partitions"`
+	// Subscribers is the number of concurrent subscriptions to the query.
+	Subscribers int `json:"subscribers"`
+	// Shared reports whether the subscriptions shared one resident
+	// pipeline (plan cache on) or each ran a dedicated pipeline.
+	Shared bool `json:"shared"`
 	// Events is the number of source events ingested while subscribed.
 	Events int `json:"events"`
 	// Deltas / Rows count deliveries and output rows received.

@@ -3,20 +3,28 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/exec"
 	"repro/internal/live"
+	"repro/internal/plan"
 	"repro/internal/types"
 )
 
-// This file is the engine's standing-query surface. A subscription parses,
-// plans, and compiles its SQL exactly once; the recorded history of the
-// scanned relations is replayed through the resident pipeline, and from then
-// on every Insert/Delete/AdvanceWatermark that touches a scanned relation is
-// routed to the subscription incrementally. Because the exec lifecycle makes
-// incremental feeding byte-identical to replay, the delta sequence a
+// This file is the engine's standing-query surface. A subscription parses
+// and plans its SQL, then either attaches to an already-resident pipeline
+// for the same plan — subscriptions are keyed by (normalized SQL, mode,
+// effective partitions), so N identical subscribers share one compiled
+// pipeline with per-subscriber delivery cursors — or compiles the pipeline
+// once and registers it. A fresh pipeline replays the recorded history of
+// the scanned relations and is caught up to the engine's processing-time
+// clock; a late-attaching cursor instead receives a snapshot hand-off
+// synthesized from the pipeline's retained output. Either way, every
+// Insert/Delete/AdvanceWatermark that touches a scanned relation is then
+// routed to the pipeline incrementally. Because the exec lifecycle makes
+// incremental feeding byte-identical to replay, the delta sequence each
 // subscriber observes equals what a post-hoc QueryStream over the final
-// changelog would return.
+// changelog would return — shared or not.
 
 // SubscribeOptions configures a standing query.
 type SubscribeOptions struct {
@@ -29,6 +37,13 @@ type SubscribeOptions struct {
 	// Policy is the slow-consumer policy (live.Block or
 	// live.DropWithError).
 	Policy live.Policy
+	// Exclusive opts out of plan sharing: the subscription always gets a
+	// dedicated resident pipeline, even when an identical one is already
+	// serving other subscribers. The delta sequence is identical either
+	// way; Exclusive trades the shared pipeline's amortized cost for
+	// isolation (a benchmark A/B, or decoupling from a peer's Block-policy
+	// backpressure).
+	Exclusive bool
 }
 
 // SubscribeStream opens a standing query delivering the stream rendering:
@@ -58,56 +73,121 @@ func (e *Engine) subscribe(sql string, mode live.Mode, opts SubscribeOptions) (*
 	if mode == live.Table && (len(pq.OrderBy) > 0 || pq.Limit != nil) {
 		return nil, fmt.Errorf("core: ORDER BY/LIMIT are not supported by table subscriptions (diffs cannot maintain presentation order)")
 	}
-	var d exec.Driver
+	// The effective parallelism decides both the compiled pipeline and
+	// the sharing key: a Parts=4 subscription to a plan with no valid
+	// hash partitioning runs the same serial pipeline a Parts=1
+	// subscription would, so the two share.
+	parts := 1
 	if opts.Parts > 1 {
-		pp, perr := exec.CompilePartitioned(pq, opts.Parts)
-		switch {
-		case perr == nil:
-			d = pp
-		case !errors.Is(perr, exec.ErrNotPartitionable):
-			return nil, perr
+		if _, derr := plan.DerivePartitioning(pq); derr == nil {
+			parts = opts.Parts
 		}
-		// Not partitionable: fall through to the serial pipeline.
 	}
-	if d == nil {
-		p, cerr := exec.Compile(pq)
-		if cerr != nil {
-			return nil, cerr
-		}
-		d = p
+	key := ""
+	if !opts.Exclusive {
+		key = planKey(sql, mode, parts)
 	}
 	names := scanNames(pq.Root)
-	sess, err := live.NewSession(d, live.Config{
-		Name:     sql,
-		Mode:     mode,
-		Schema:   pq.Root.Schema(),
-		EmitKeys: pq.EmitKeyIdxs,
-		Sources:  names,
-		Buffer:   opts.Buffer,
-		Policy:   opts.Policy,
-	})
-	if err != nil {
-		return nil, err
+	create := func() (*live.Session, error) {
+		var d exec.Driver
+		if parts > 1 {
+			pp, perr := exec.CompilePartitioned(pq, parts)
+			switch {
+			case perr == nil:
+				d = pp
+			case !errors.Is(perr, exec.ErrNotPartitionable):
+				return nil, perr
+			}
+			// Not partitionable: fall through to the serial pipeline.
+		}
+		if d == nil {
+			p, cerr := exec.Compile(pq)
+			if cerr != nil {
+				return nil, cerr
+			}
+			d = p
+		}
+		return live.NewSession(d, live.Config{
+			Name:     sql,
+			Mode:     mode,
+			Schema:   pq.Root.Schema(),
+			EmitKeys: pq.EmitKeyIdxs,
+			Sources:  names,
+		})
 	}
-	// Replay recorded history, then go live. The manager runs the
-	// snapshot under its ordering lock, so no concurrently committed
-	// change can fall between the history replay and live routing.
-	if err := e.live.Register(sess, func() ([]exec.Source, error) {
-		return e.sourcesByName(names)
-	}); err != nil {
-		return nil, err
+	// Attach to the resident pipeline for this plan, or compile one and
+	// replay recorded history into it. The manager runs both under its
+	// ordering lock, so no concurrently committed change can fall between
+	// the snapshot (history replay or late-attach hand-off) and live
+	// routing; on any failure it cancels the session, so a started
+	// driver's goroutines cannot leak.
+	return e.live.Subscribe(key, live.CursorOpts{Buffer: opts.Buffer, Policy: opts.Policy}, create,
+		func() ([]exec.Source, error) { return e.sourcesByName(names) })
+}
+
+// planKey identifies a shareable standing-query plan: same normalized SQL
+// text, same delta rendering, same effective parallelism. Whitespace runs
+// are collapsed so trivially reformatted SQL still shares; anything beyond
+// that (case, literal spelling) conservatively keys a separate pipeline.
+func planKey(sql string, mode live.Mode, parts int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", normalizeSQL(sql), mode, parts)
+}
+
+// normalizeSQL collapses whitespace runs outside quoted regions into one
+// space and trims the ends. Whitespace inside a single-quoted string
+// literal or a double-quoted identifier is significant to the lexer ('a b'
+// and 'a  b' are different literals, "a b" and "a  b" different relations),
+// so quoted bytes pass through verbatim. The ” literal escape reads as
+// close-then-reopen, which preserves bytes just the same; quoted
+// identifiers have no escape (the next '"' closes them).
+func normalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	var quote byte // the delimiter of the quoted region we are inside, or 0
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		ch := sql[i]
+		if quote != 0 {
+			b.WriteByte(ch)
+			if ch == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch ch {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = true
+			continue
+		case '\'', '"':
+			quote = ch
+		}
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+		b.WriteByte(ch)
 	}
-	return sess.Subscription(), nil
+	return b.String()
 }
 
 // Heartbeat advances the processing-time clock of every standing query to
-// pt, firing due EMIT AFTER DELAY timers. The catalog is unchanged; one-shot
-// queries are unaffected.
+// pt, firing due EMIT AFTER DELAY timers. The clock is recorded: a
+// subscription opened afterwards starts from it instead of MinTime, so its
+// pending timers fire exactly as an earlier subscriber's did. The catalog
+// is unchanged; one-shot queries are unaffected.
 func (e *Engine) Heartbeat(pt types.Time) {
 	e.live.Advance(pt)
 }
 
-// LiveSessions reports the number of standing queries currently registered.
+// LiveSessions reports the number of resident standing-query pipelines.
+// Subscriptions sharing a plan count once; see LiveSubscribers for the
+// attached-consumer count.
 func (e *Engine) LiveSessions() int {
 	return e.live.Len()
+}
+
+// LiveSubscribers reports the number of attached subscriber cursors across
+// all resident pipelines.
+func (e *Engine) LiveSubscribers() int {
+	return e.live.Subscribers()
 }

@@ -10,11 +10,24 @@
 // consumption: a Session wraps an exec.Driver (serial or key-partitioned)
 // started once, feeds it every subsequent ingested change through the same
 // deterministic merge the replay path uses, and delivers the incremental
-// output — stream-rendered deltas or consolidated table diffs — over a
-// bounded channel with explicit slow-consumer policy. Because the driver
-// lifecycle guarantees that incremental feeding is byte-identical to replay,
-// a standing subscription observes exactly the delta sequence a post-hoc
-// EMIT STREAM query over the final changelog would produce.
+// output — stream-rendered deltas or consolidated table diffs — to its
+// subscribers. Because the driver lifecycle guarantees that incremental
+// feeding is byte-identical to replay, a standing subscription observes
+// exactly the delta sequence a post-hoc EMIT STREAM query over the final
+// changelog would produce.
+//
+// One SQL text denotes one time-varying relation regardless of how many
+// consumers watch it, so sessions are shared: a Session is the resident
+// pipeline, and any number of subscriber cursors attach to it, each with its
+// own bounded delta channel, slow-consumer policy, and stats (Attach). The
+// Manager keys resident sessions by plan (normalized SQL, mode, partitions)
+// so identical subscriptions reuse one pipeline; a cursor that attaches
+// after the pipeline has already produced output receives a snapshot
+// hand-off first — the table rendering as one consolidated initial diff, or
+// the stream rendering re-rendered from the retained output changelog so it
+// starts at the current version numbers — which is byte-identical to what a
+// dedicated subscription opened at the same instant would deliver. The
+// session tears down when its last cursor departs.
 package live
 
 import (
@@ -50,11 +63,15 @@ type Policy int
 const (
 	// Block applies backpressure: the ingesting goroutine waits until the
 	// subscriber drains (or the subscription is canceled). Ingest latency
-	// becomes coupled to the slowest blocking subscriber.
+	// becomes coupled to the slowest blocking subscriber; on a shared
+	// session every other cursor still receives its buffer hand-off
+	// first, so peers keep draining while the ingest waits.
 	Block Policy = iota
 	// DropWithError terminates the subscription with ErrSlowConsumer
 	// instead of stalling ingestion: the channel closes and Err reports
 	// the drop, so the subscriber knows its view is no longer complete.
+	// On a shared session only the slow cursor is dropped; the resident
+	// pipeline and its other subscribers are untouched.
 	DropWithError
 )
 
@@ -96,48 +113,76 @@ type TableDiff struct {
 	Deleted []types.Row
 }
 
-// consolidate nets a drained output changelog into a snapshot diff.
-func consolidate(out tvr.Changelog) *TableDiff {
-	type acc struct {
-		row types.Row
-		n   int
-	}
-	counts := make(map[string]*acc)
-	var order []string
-	diff := &TableDiff{Ptime: types.MinTime}
-	for _, ev := range out {
-		if !ev.IsData() {
-			continue
-		}
-		if ev.Ptime > diff.Ptime {
-			diff.Ptime = ev.Ptime
-		}
-		k := ev.Row.Key()
-		a := counts[k]
-		if a == nil {
-			a = &acc{row: ev.Row}
-			counts[k] = a
-			order = append(order, k)
-		}
-		if ev.Kind == tvr.Insert {
-			a.n++
-		} else {
-			a.n--
-		}
-	}
-	for _, k := range order {
-		a := counts[k]
-		for i := 0; i < a.n; i++ {
-			diff.Inserted = append(diff.Inserted, a.row)
-		}
-		for i := 0; i < -a.n; i++ {
-			diff.Deleted = append(diff.Deleted, a.row)
-		}
-	}
-	return diff
+// tableAcc incrementally maintains the state consolidate derives from a
+// changelog: per-row net multiplicities in first-appearance order, plus the
+// latest data ptime. A shared Table-mode session keeps one alive across
+// deliveries so a late attacher's snapshot hand-off is synthesized from
+// state bounded by distinct rows, not by the full output history.
+type tableAcc struct {
+	counts map[string]*rowAcc
+	order  []string
+	ptime  types.Time
 }
 
-// Stats is a point-in-time snapshot of a subscription's counters.
+type rowAcc struct {
+	row types.Row
+	n   int
+}
+
+func newTableAcc() *tableAcc {
+	return &tableAcc{counts: make(map[string]*rowAcc), ptime: types.MinTime}
+}
+
+// apply folds one changelog event into the accumulator.
+func (a *tableAcc) apply(ev tvr.Event) {
+	if !ev.IsData() {
+		return
+	}
+	if ev.Ptime > a.ptime {
+		a.ptime = ev.Ptime
+	}
+	k := ev.Row.Key()
+	r := a.counts[k]
+	if r == nil {
+		r = &rowAcc{row: ev.Row}
+		a.counts[k] = r
+		a.order = append(a.order, k)
+	}
+	if ev.Kind == tvr.Insert {
+		r.n++
+	} else {
+		r.n--
+	}
+}
+
+// diff renders the accumulated net change as a fresh snapshot diff.
+func (a *tableAcc) diff() *TableDiff {
+	d := &TableDiff{Ptime: a.ptime}
+	for _, k := range a.order {
+		r := a.counts[k]
+		for i := 0; i < r.n; i++ {
+			d.Inserted = append(d.Inserted, r.row)
+		}
+		for i := 0; i < -r.n; i++ {
+			d.Deleted = append(d.Deleted, r.row)
+		}
+	}
+	return d
+}
+
+// consolidate nets a drained output changelog into a snapshot diff.
+func consolidate(out tvr.Changelog) *TableDiff {
+	a := newTableAcc()
+	for _, ev := range out {
+		a.apply(ev)
+	}
+	return a.diff()
+}
+
+// Stats is a point-in-time snapshot of a subscription's counters. EventsIn,
+// Watermark, Partitions, PipelineID, and Subscribers describe the shared
+// resident pipeline; DeltasOut, RowsOut, and QueueDepth are this
+// subscriber's own cursor.
 type Stats struct {
 	// EventsIn counts source events fed into the standing pipeline
 	// (including watermarks).
@@ -152,4 +197,18 @@ type Stats struct {
 	QueueDepth int
 	// Partitions is the parallelism of the standing pipeline (1 = serial).
 	Partitions int
+	// PipelineID identifies the resident pipeline; subscriptions sharing
+	// a plan report the same id.
+	PipelineID int
+	// Subscribers is the number of cursors currently attached to the
+	// resident pipeline (1 for an unshared subscription).
+	Subscribers int
+}
+
+// CursorOpts configures one subscriber cursor attached to a session.
+type CursorOpts struct {
+	// Buffer is the cursor's delta channel capacity (default 64).
+	Buffer int
+	// Policy is the cursor's slow-consumer policy.
+	Policy Policy
 }

@@ -10,11 +10,15 @@ import (
 )
 
 // Manager is the routing half of the standing-query subsystem: a registry of
-// live sessions keyed by the relations they scan. The owning engine funnels
-// every catalog mutation through Publish, which serializes the commit and
-// the fan-out under one ordering lock so all sessions observe changes in the
-// same global order they entered the catalog — the property that makes a
-// standing subscription's delta sequence equal a post-hoc replay.
+// live sessions keyed by the relations they scan, plus the shared-plan table
+// that dedupes identical subscriptions onto one resident pipeline. The
+// owning engine funnels every catalog mutation through Publish, which
+// serializes the commit and the fan-out under one ordering lock so all
+// sessions observe changes in the same global order they entered the
+// catalog — the property that makes a standing subscription's delta sequence
+// equal a post-hoc replay. Fan-out across sessions runs in registration-id
+// order, so delivery (and therefore Block-policy stall behavior and cursor
+// attach interleaving) is reproducible run to run.
 //
 // Lock order is Manager.mu -> engine catalog lock -> Session.mu; nothing may
 // take them in reverse. A delivery blocked on a slow Block-policy subscriber
@@ -26,37 +30,129 @@ type Manager struct {
 	mu     sync.Mutex
 	nextID int
 	subs   map[int]*Session
-	count  atomic.Int64 // len(subs), readable without m.mu
+	order  []int               // registration ids, ascending — the fan-out order
+	plans  map[string]*Session // shared-plan table: plan key -> resident session
+	keys   map[int]string      // registration id -> plan key (for cleanup)
+	// lastPt is the latest processing time broadcast via Advance. A
+	// session registered afterwards is caught up to it before going live,
+	// so its EMIT AFTER DELAY timers fire exactly as an identical session
+	// registered earlier would have.
+	lastPt types.Time
+
+	count atomic.Int64 // len(subs), readable without m.mu
+	snap  atomic.Value // []*Session, for lock-free Subscribers()
 }
 
 // NewManager creates an empty registry.
 func NewManager() *Manager {
-	return &Manager{subs: make(map[int]*Session)}
+	m := &Manager{
+		subs:   make(map[int]*Session),
+		plans:  make(map[string]*Session),
+		keys:   make(map[int]string),
+		lastPt: types.MinTime,
+	}
+	m.snap.Store([]*Session{})
+	return m
 }
 
-// Register adds a session to the routing table. When history is non-nil it
+// Subscribe is the shared-plan entry point. When key is non-empty and a
+// resident session for it exists, the new subscriber attaches to it as an
+// extra cursor — no second pipeline is compiled or fed. Otherwise create
+// builds a fresh session, which is registered (history replay plus
+// processing-time catch-up, all under the ordering lock so no concurrently
+// published change can slip into the gap) and recorded under key. An empty
+// key always creates a dedicated session. Any failure on the create path
+// cancels the session so a started driver can never leak.
+func (m *Manager) Subscribe(key string, opts CursorOpts, create func() (*Session, error), history func() ([]exec.Source, error)) (*Subscription, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if key != "" {
+		if sess := m.plans[key]; sess != nil {
+			sub, err := sess.Attach(opts)
+			if err == nil {
+				return sub, nil
+			}
+			// The resident session died concurrently (its last cursor
+			// departed between our lookup and the attach); fall
+			// through and build a replacement.
+			delete(m.plans, key)
+		}
+	}
+	sess, err := create()
+	if err != nil {
+		return nil, err
+	}
+	id, err := m.registerLocked(sess, history)
+	if err != nil {
+		sess.cancel()
+		return nil, err
+	}
+	sub, err := sess.Attach(opts)
+	if err != nil {
+		m.removeLocked(id)
+		sess.teardownOnce.Do(func() {}) // already unregistered; neutralize the hook
+		sess.cancel()
+		return nil, err
+	}
+	if key != "" {
+		m.plans[key] = sess
+		m.keys[id] = key
+	} else {
+		// A dedicated session can never see a late attach, so retaining
+		// its output changelog for snapshot hand-off would be dead
+		// weight; its only subscriber already got the history delta.
+		sess.DropRetainedOutput()
+	}
+	return sub, nil
+}
+
+// Register adds a session to the routing table (outside the shared-plan
+// table; Subscribe is the deduping entry point). When history is non-nil it
 // runs first — under the ordering lock, so no concurrently published change
 // can slip between the snapshot it returns and the start of live routing —
-// and its batch is replayed through the session before registration. The
-// session's teardown hook is set to unregister it.
+// and its batch is replayed through the session before registration; the
+// session is then caught up to the latest broadcast processing time. The
+// session's teardown hook is set to unregister it. On any error the session
+// is canceled, so its started driver (and a partitioned pipeline's worker
+// goroutines) cannot leak.
 func (m *Manager) Register(sess *Session, history func() ([]exec.Source, error)) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if _, err := m.registerLocked(sess, history); err != nil {
+		sess.cancel()
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) registerLocked(sess *Session, history func() ([]exec.Source, error)) (int, error) {
 	if history != nil {
 		batch, err := history()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := sess.IngestLog(batch); err != nil {
-			return err
+			return 0, err
+		}
+	}
+	// Catch the new pipeline's processing-time clock up to the last
+	// heartbeat, after the history replay: delay timers the replayed
+	// events armed that are already due must fire now, not at the next
+	// broadcast, or the late joiner's emissions would coalesce
+	// differently than an early subscriber's.
+	if m.lastPt > types.MinTime {
+		if err := sess.Advance(m.lastPt); err != nil {
+			return 0, err
 		}
 	}
 	id := m.nextID
 	m.nextID++
 	m.subs[id] = sess
-	m.count.Store(int64(len(m.subs)))
+	m.order = append(m.order, id) // nextID is monotonic: stays sorted
+	m.refreshLocked()
+	sess.setID(id)
 	sess.SetTeardown(func() { m.unregister(id) })
-	return nil
+	return id, nil
 }
 
 func (m *Manager) unregister(id int) {
@@ -66,15 +162,45 @@ func (m *Manager) unregister(id int) {
 }
 
 func (m *Manager) removeLocked(id int) {
+	sess, ok := m.subs[id]
+	if !ok {
+		return
+	}
 	delete(m.subs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	if key, ok := m.keys[id]; ok {
+		delete(m.keys, id)
+		// Only drop the shared-plan entry while it still points at this
+		// session: a dying session's deferred teardown must not clobber
+		// the replacement that Subscribe installed under the same key.
+		if m.plans[key] == sess {
+			delete(m.plans, key)
+		}
+	}
+	m.refreshLocked()
+}
+
+// refreshLocked rebuilds the lock-free observability state.
+func (m *Manager) refreshLocked() {
 	m.count.Store(int64(len(m.subs)))
+	sessions := make([]*Session, 0, len(m.order))
+	for _, id := range m.order {
+		sessions = append(sessions, m.subs[id])
+	}
+	m.snap.Store(sessions)
 }
 
 // Publish atomically commits an engine-side change and routes the resulting
-// events to every session scanning the named relation. Each session receives
-// the whole batch in one delivery (one delta, one partitioned round) rather
-// than per-event. A session that refuses the batch (canceled, dropped, or
-// failed) is removed from the routing table; its subscriber learns why from
+// events to every session scanning the named relation, in registration-id
+// order. Each session receives the whole batch in one delivery (one delta
+// per attached cursor, one partitioned round) rather than per-event. A
+// session that refuses the batch (canceled, every cursor dropped, or
+// failed) is removed from the routing table; its subscribers learn why from
 // Subscription.Err.
 func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) error {
 	m.mu.Lock()
@@ -86,8 +212,9 @@ func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) err
 		return nil
 	}
 	batch := []exec.Source{{Name: name, Log: evs}}
-	for id, sess := range m.subs {
-		if !sess.Matches(name) {
+	for _, id := range append([]int(nil), m.order...) {
+		sess := m.subs[id]
+		if sess == nil || !sess.Matches(name) {
 			continue
 		}
 		if err := sess.IngestLog(batch); err != nil {
@@ -97,20 +224,39 @@ func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) err
 	return nil
 }
 
-// Advance broadcasts a processing-time heartbeat to every session, firing
-// due EMIT AFTER DELAY timers across all standing queries.
+// Advance broadcasts a processing-time heartbeat to every session in
+// registration-id order, firing due EMIT AFTER DELAY timers across all
+// standing queries, and records pt so later-registered sessions start from
+// the same clock.
 func (m *Manager) Advance(pt types.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for id, sess := range m.subs {
+	if pt > m.lastPt {
+		m.lastPt = pt
+	}
+	for _, id := range append([]int(nil), m.order...) {
+		sess := m.subs[id]
+		if sess == nil {
+			continue
+		}
 		if err := sess.Advance(pt); err != nil {
 			m.removeLocked(id)
 		}
 	}
 }
 
-// Len reports the number of live sessions without taking the routing lock,
-// so liveness probes stay responsive during a blocked delivery.
+// Len reports the number of resident pipelines without taking the routing
+// lock, so liveness probes stay responsive during a blocked delivery.
 func (m *Manager) Len() int {
 	return int(m.count.Load())
+}
+
+// Subscribers reports the total number of attached subscriber cursors
+// across all resident pipelines. Like Len it takes no locks.
+func (m *Manager) Subscribers() int {
+	n := 0
+	for _, sess := range m.snap.Load().([]*Session) {
+		n += sess.Subscribers()
+	}
+	return n
 }

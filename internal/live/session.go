@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,17 +26,25 @@ type Config struct {
 	// Sources are the relation names the plan scans (the session only
 	// accepts events for these).
 	Sources []string
-	// Buffer is the delta channel capacity (default 64).
-	Buffer int
-	// Policy is the slow-consumer policy.
-	Policy Policy
 }
 
 // Session is the engine-facing half of a standing query: it owns a started
 // exec.Driver and converts ingested source events into subscriber deltas.
-// The consumer-facing half is the Subscription returned by Subscription().
+// One session serves any number of subscribers — the consumer-facing half is
+// the per-subscriber cursor created by Attach — and every rendered delta is
+// fanned out to all attached cursors in attach order. The session retains
+// its cumulative output changelog so a cursor attaching late receives a
+// snapshot hand-off first (see Attach); it tears down when the last cursor
+// departs, or immediately on a pipeline error.
 //
-// A session is safe for concurrent use; ingestion is serialized internally.
+// A session is safe for concurrent use. Two locks split the work: ingestMu
+// serializes the producer side (driver access: Feed/Advance/Close and
+// Drain), while mu guards the cursor list, channel state, and the retained
+// output. A Block-policy delivery parks on a full cursor holding ONLY
+// ingestMu, never mu, so cursor-level operations (Attach under the manager's
+// lock, Cancel, Close, Stats) stay responsive while a slow subscriber
+// exerts backpressure. Lock order: ingestMu before mu; neither is held while
+// acquiring the manager lock (runTeardown).
 type Session struct {
 	cfg        Config
 	driver     exec.Driver
@@ -43,36 +52,42 @@ type Session struct {
 	sources    map[string]bool
 	partitions int
 
-	deltas chan Delta
-	done   chan struct{} // closed by Cancel/Close to unblock producers
-	once   sync.Once     // guards close(done)
+	// ingestMu serializes driver access and keeps deliveries in order.
+	ingestMu sync.Mutex
 
-	mu       sync.Mutex
-	closed   bool // no further input accepted
-	chClosed bool // deltas channel closed
-	// pending holds a rendered delta whose channel send was interrupted
-	// by Close, so the graceful path can fold it into the final delta
-	// instead of losing it (Cancel discards it by design).
-	pending *Delta
+	mu           sync.Mutex
+	parkCond     *sync.Cond // broadcast whenever a cursor's parked bit clears
+	closed       bool       // no further input accepted
+	cursors      []*cursor  // attach order — also the fan-out order
+	everAttached bool
+	produced     bool // the pipeline has drained output at least once
+	// The late-attach snapshot state. A Stream-mode session retains the
+	// cumulative output changelog (the rendering needs every row's
+	// version history; same retention posture as the engine's recorded
+	// relation changelogs), while a Table-mode session folds output into
+	// a consolidated accumulator bounded by distinct rows. Both are
+	// dropped on sessions that can never see a late attach (see
+	// DropRetainedOutput).
+	outLog    tvr.Changelog
+	tableSnap *tableAcc
+	noRetain  bool
 
 	// Observability state lives outside s.mu so Stats and Err stay
-	// responsive while a Block-policy delivery is stalled on a full
-	// channel (which happens holding s.mu).
-	err       atomic.Value // error; terminal, nil after a graceful Close
-	eventsIn  atomic.Int64
-	deltasOut atomic.Int64
-	rowsOut   atomic.Int64
-	wm        atomic.Int64 // types.Time
+	// responsive while a Block-policy delivery is parked on a full
+	// cursor.
+	err      atomic.Value // error; terminal, nil after a graceful Close
+	eventsIn atomic.Int64
+	wm       atomic.Int64 // types.Time
+	nsubs    atomic.Int64 // len(cursors)
+	id       atomic.Int64 // registration (pipeline) id, set by the manager
 
 	teardown     func() // unregisters from the owning manager
 	teardownOnce sync.Once
 }
 
-// NewSession starts the driver and wraps it as a standing query.
+// NewSession starts the driver and wraps it as a standing query with no
+// subscribers yet; Attach adds them.
 func NewSession(d exec.Driver, cfg Config) (*Session, error) {
-	if cfg.Buffer <= 0 {
-		cfg.Buffer = 64
-	}
 	if err := d.Start(); err != nil {
 		return nil, err
 	}
@@ -82,8 +97,10 @@ func NewSession(d exec.Driver, cfg Config) (*Session, error) {
 		renderer:   tvr.NewStreamRenderer(cfg.EmitKeys),
 		sources:    make(map[string]bool, len(cfg.Sources)),
 		partitions: d.Stats().Partitions,
-		deltas:     make(chan Delta, cfg.Buffer),
-		done:       make(chan struct{}),
+	}
+	s.parkCond = sync.NewCond(&s.mu)
+	if cfg.Mode == Table {
+		s.tableSnap = newTableAcc()
 	}
 	s.wm.Store(int64(types.MinTime))
 	for _, name := range cfg.Sources {
@@ -95,17 +112,27 @@ func NewSession(d exec.Driver, cfg Config) (*Session, error) {
 // SetTeardown installs the hook run when the session leaves its manager.
 func (s *Session) SetTeardown(fn func()) { s.teardown = fn }
 
+// setID records the manager-assigned pipeline id.
+func (s *Session) setID(id int) { s.id.Store(int64(id)) }
+
 // Matches reports whether the standing query scans the named relation.
 func (s *Session) Matches(name string) bool { return s.sources[strings.ToLower(name)] }
 
 // loadErr returns the recorded terminal error, if any. Writes happen under
-// s.mu; reads are lock-free so Err stays responsive during a blocked
+// s.mu; reads are lock-free so Err stays responsive during a parked
 // delivery.
 func (s *Session) loadErr() error {
 	if v := s.err.Load(); v != nil {
 		return v.(error)
 	}
 	return nil
+}
+
+// setErr records the first terminal session error; later calls are no-ops.
+func (s *Session) setErr(err error) {
+	if err != nil && s.loadErr() == nil {
+		s.err.Store(err)
+	}
 }
 
 // terminalErr is the error a producer-facing call reports once the session
@@ -120,8 +147,116 @@ func (s *Session) terminalErr() error {
 // Name returns the session's diagnostic label.
 func (s *Session) Name() string { return s.cfg.Name }
 
-// Subscription returns the consumer-facing handle.
-func (s *Session) Subscription() *Subscription { return &Subscription{s: s} }
+// Subscribers reports the number of attached cursors. Lock-free.
+func (s *Session) Subscribers() int { return int(s.nsubs.Load()) }
+
+// DropRetainedOutput releases the cumulative output changelog and stops
+// retaining future output. The manager calls it on sessions that can never
+// see a late attach (exclusive subscriptions), where the retention would be
+// dead weight; afterwards Attach refuses rather than hand off an incomplete
+// snapshot.
+func (s *Session) DropRetainedOutput() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noRetain = true
+	s.outLog = nil
+	s.tableSnap = nil
+}
+
+// Attach adds a subscriber cursor and returns its consumer-facing handle.
+// When the pipeline has already produced output, the cursor's first delta is
+// a snapshot hand-off synthesized from the retained output changelog: in
+// Table mode the consolidated diff reconstructing the current snapshot, in
+// Stream mode the full stream rendering (re-rendered from the log, so its
+// version numbers match the ones already delivered to earlier subscribers
+// and new rows continue from the current counters). That is byte-identical
+// to the history-replay delta a dedicated subscription opened at the same
+// instant would receive. The caller must guarantee no publish runs
+// concurrently (the manager attaches under its ordering lock).
+func (s *Session) Attach(opts CursorOpts) (*Subscription, error) {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 64
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, s.terminalErr()
+	}
+	if s.noRetain {
+		return nil, fmt.Errorf("live: session %q does not retain output for late attach", s.cfg.Name)
+	}
+	c := &cursor{
+		s:      s,
+		policy: opts.Policy,
+		deltas: make(chan Delta, opts.Buffer),
+		done:   make(chan struct{}),
+	}
+	if d := s.snapshotDeltaLocked(); d != nil {
+		c.deltas <- *d // fresh channel, capacity >= 1: never blocks
+		c.noteDelivered(d)
+	}
+	s.cursors = append(s.cursors, c)
+	s.everAttached = true
+	s.nsubs.Store(int64(len(s.cursors)))
+	return &Subscription{c: c}, nil
+}
+
+// snapshotDeltaLocked synthesizes the late-attach initial delta from the
+// retained output: exactly what replaying the full history through a
+// dedicated pipeline would have delivered as its first delta. Nil when the
+// pipeline has produced no output yet.
+func (s *Session) snapshotDeltaLocked() *Delta {
+	if !s.produced {
+		return nil
+	}
+	d := Delta{Watermark: types.Time(s.wm.Load())}
+	if s.cfg.Mode == Table {
+		d.Table = s.tableSnap.diff()
+	} else {
+		d.Stream = tvr.RenderStream(s.outLog, s.cfg.EmitKeys)
+	}
+	return &d
+}
+
+// removeCursorLocked detaches a cursor from the fan-out list and closes its
+// channel. It records no error — callers set one first when the detach is
+// not graceful. The cursor must not be parked (no producer may be mid-send
+// to it): callers wait out c.parked first.
+func (s *Session) removeCursorLocked(c *cursor) {
+	if c.detached {
+		return
+	}
+	c.detached = true
+	c.once.Do(func() { close(c.done) })
+	close(c.deltas)
+	for i, cc := range s.cursors {
+		if cc == c {
+			s.cursors = append(s.cursors[:i], s.cursors[i+1:]...)
+			break
+		}
+	}
+	s.nsubs.Store(int64(len(s.cursors)))
+}
+
+// closeSessionLocked ends the session: the terminal error is recorded, every
+// remaining cursor is dropped with it, and the driver is completed (errors
+// irrelevant on a failing session) so a partitioned pipeline's worker
+// goroutines are released. Callers hold s.mu AND ingestMu (driver access),
+// with no cursor parked. Cursor-detach-path callers must run runTeardown
+// afterwards, without holding any lock; the ingest path instead returns the
+// error to the manager, which removes the session itself.
+func (s *Session) closeSessionLocked(err error) {
+	s.setErr(err)
+	for len(s.cursors) > 0 {
+		c := s.cursors[0]
+		c.setErr(err)
+		s.removeCursorLocked(c)
+	}
+	if !s.closed {
+		s.closed = true
+		s.driver.Close() //nolint:errcheck
+	}
+}
 
 // Ingest feeds one source event through the standing pipeline and delivers
 // any deltas that materialize.
@@ -133,39 +268,53 @@ func (s *Session) Ingest(source string, ev tvr.Event) error {
 // the driver) and delivers the batch's deltas in one delivery. Subscribing
 // uses it to replay a relation's recorded history through the new pipeline.
 func (s *Session) IngestLog(batch []exec.Source) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.isClosed() {
 		return s.terminalErr()
 	}
 	for _, src := range batch {
 		s.eventsIn.Add(int64(len(src.Log)))
 	}
 	if err := s.driver.Feed(batch); err != nil {
-		s.failLocked(err)
+		s.failFeed(err)
 		return err
 	}
-	return s.deliverLocked()
+	return s.deliver()
 }
 
 // Advance moves the standing pipeline's processing-time clock to pt, firing
 // any due EMIT AFTER DELAY timers and delivering the resulting deltas.
 func (s *Session) Advance(pt types.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.isClosed() {
 		return s.terminalErr()
 	}
 	if err := s.driver.Advance(pt); err != nil {
-		s.failLocked(err)
+		s.failFeed(err)
 		return err
 	}
-	return s.deliverLocked()
+	return s.deliver()
 }
 
-// renderLocked drains the driver's new output and renders it per the
-// session mode, updating the row counters. It returns nil when nothing
-// materialized.
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// failFeed ends the session on a driver error. Caller holds ingestMu.
+func (s *Session) failFeed(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeSessionLocked(err)
+}
+
+// renderLocked drains the driver's new output, retains it in the cumulative
+// output log, and renders it per the session mode. It returns nil when
+// nothing materialized. Caller holds ingestMu (driver access) and s.mu
+// (renderer/outLog).
 func (s *Session) renderLocked() *Delta {
 	out := s.driver.Drain()
 	wm := s.driver.OutputWatermark()
@@ -173,76 +322,135 @@ func (s *Session) renderLocked() *Delta {
 	if len(out) == 0 {
 		return nil
 	}
+	s.produced = true
+	if !s.noRetain {
+		if s.cfg.Mode == Table {
+			for _, ev := range out {
+				s.tableSnap.apply(ev)
+			}
+		} else {
+			s.outLog = append(s.outLog, out...)
+		}
+	}
 	d := Delta{Watermark: wm}
-	switch s.cfg.Mode {
-	case Table:
+	if s.cfg.Mode == Table {
 		d.Table = consolidate(out)
-		s.rowsOut.Add(int64(len(d.Table.Inserted) + len(d.Table.Deleted)))
-	default:
+	} else {
 		d.Stream = s.renderer.Append(out)
-		s.rowsOut.Add(int64(len(d.Stream)))
 	}
 	return &d
 }
 
-// deliverLocked renders the driver's new output and hands it to the
-// subscriber under the slow-consumer policy.
-func (s *Session) deliverLocked() error {
+// deliver renders the driver's new output and fans it out to every attached
+// cursor in attach order, under each cursor's slow-consumer policy. Caller
+// holds ingestMu.
+//
+// Delivery is two-phase so one slow Block subscriber cannot starve its
+// peers: first every cursor with buffer space receives its hand-off
+// non-blocking (full DropWithError cursors are dropped right there), then
+// the producer parks on the full Block cursors — simultaneously, holding
+// only ingestMu — whose peers already hold the delta in their own buffers
+// and keep draining meanwhile. The session stalls with nothing delivered at
+// all only when every attached cursor is full. A park ends for a cursor
+// when it makes space, cancels (the delta is abandoned with it), or closes
+// (the delta folds into the cursor's final delta).
+func (s *Session) deliver() error {
+	s.mu.Lock()
 	d := s.renderLocked()
 	if d == nil {
+		s.mu.Unlock()
 		return nil
 	}
-	switch s.cfg.Policy {
-	case DropWithError:
-		select {
-		case s.deltas <- *d:
-		default:
-			s.failLocked(ErrSlowConsumer)
-			return ErrSlowConsumer
+	var blocked []*cursor
+	var dropped []*cursor
+	for _, c := range s.cursors {
+		if c.leaving {
+			c.pending = mergeDeltas(s.cfg.Mode, c.pending, d)
+			continue
 		}
-	default: // Block
 		select {
-		case s.deltas <- *d:
-		case <-s.done:
-			// Interrupted mid-delivery: keep the rendered delta so a
-			// graceful Close can still hand it over, and report without
-			// touching channel state — the closing goroutine finalizes
-			// it.
-			s.pending = d
-			return s.terminalErr()
+		case c.deltas <- *d:
+			c.noteDelivered(d)
+		default:
+			if c.policy == DropWithError {
+				dropped = append(dropped, c)
+			} else {
+				blocked = append(blocked, c)
+			}
 		}
 	}
-	s.deltasOut.Add(1)
+	anyDropped := len(dropped) > 0
+	for _, c := range dropped {
+		c.setErr(ErrSlowConsumer)
+		s.removeCursorLocked(c)
+	}
+	for _, c := range blocked {
+		c.parked = true
+	}
+	s.mu.Unlock()
+
+	if len(blocked) > 0 {
+		s.parkAndDeliver(blocked, d)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.everAttached && len(s.cursors) == 0 && !s.closed {
+		// Every subscriber departed mid-delivery: the shared pipeline
+		// dies with the last one, and the manager removes it on this
+		// error. ErrSlowConsumer when a drop emptied the session (the
+		// pre-sharing semantics); ErrClosed when cancels did.
+		err := ErrClosed
+		if anyDropped {
+			err = ErrSlowConsumer
+		}
+		s.closeSessionLocked(err)
+		return s.terminalErr()
+	}
 	return nil
 }
 
-// failLocked records a terminal error and wakes the subscriber. The driver is
-// completed too (errors irrelevant on a failing session): once s.closed is
-// set, no cancel/close path will touch the driver again, and a partitioned
-// pipeline's worker goroutines are only released by its Close.
-func (s *Session) failLocked(err error) {
-	if s.loadErr() == nil {
-		s.err.Store(err)
+// parkAndDeliver blocks until every full Block cursor has accepted the
+// delta or departed (done closed by Cancel/Close). It waits on all of them
+// simultaneously, so one slow peer cannot delay noticing another's
+// departure. Holds no locks while parked; each resolution is finalized
+// under s.mu and parkCond is broadcast so a Cancel/Close waiting for the
+// cursor's parked bit can proceed.
+func (s *Session) parkAndDeliver(blocked []*cursor, d *Delta) {
+	cases := make([]reflect.SelectCase, 2*len(blocked))
+	for i, c := range blocked {
+		cases[2*i] = reflect.SelectCase{Dir: reflect.SelectSend, Chan: reflect.ValueOf(c.deltas), Send: reflect.ValueOf(*d)}
+		cases[2*i+1] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(c.done)}
 	}
-	if !s.closed {
-		s.closed = true
-		s.driver.Close() //nolint:errcheck
-	}
-	s.once.Do(func() { close(s.done) })
-	s.closeDeltasLocked()
-}
-
-func (s *Session) closeDeltasLocked() {
-	if !s.chClosed {
-		s.chClosed = true
-		close(s.deltas)
+	for remaining := len(blocked); remaining > 0; remaining-- {
+		chosen, _, _ := reflect.Select(cases)
+		ci := chosen / 2
+		c := blocked[ci]
+		sent := chosen%2 == 0
+		cases[2*ci].Chan = reflect.Value{} // a zero Chan is never selected
+		cases[2*ci+1].Chan = reflect.Value{}
+		s.mu.Lock()
+		c.parked = false
+		if sent {
+			c.noteDelivered(d)
+		} else {
+			// Departed mid-delivery: keep the rendered delta so a
+			// graceful Close can still hand it over (Cancel discards
+			// it by design), and stop delivering to this cursor.
+			c.leaving = true
+			if !c.discard {
+				c.pending = mergeDeltas(s.cfg.Mode, c.pending, d)
+			}
+		}
+		s.parkCond.Broadcast()
+		s.mu.Unlock()
 	}
 }
 
 // runTeardown unregisters the session from its manager exactly once. It must
-// be called without holding s.mu: the manager routes events while holding
-// its own lock and then takes s.mu, so taking them in the opposite order
-// here would deadlock.
+// be called without holding s.mu or ingestMu: the manager routes events
+// while holding its own lock and then calls into the session, so taking the
+// locks in the opposite order here would deadlock.
 func (s *Session) runTeardown() {
 	s.teardownOnce.Do(func() {
 		if s.teardown != nil {
@@ -251,69 +459,22 @@ func (s *Session) runTeardown() {
 	})
 }
 
-// cancel tears the session down immediately: pending and future deliveries
-// are abandoned, the delta channel closes, and Err reports ErrClosed unless
-// a terminal error was already recorded.
+// cancel tears the whole session down immediately: every cursor terminates
+// (pending and future deliveries abandoned, channels closed, Err reporting
+// ErrClosed unless a terminal error was already recorded) and the driver is
+// completed. The manager uses it to release a session whose registration
+// failed partway; no delivery can be in flight there.
 func (s *Session) cancel() {
-	s.once.Do(func() { close(s.done) })
+	s.ingestMu.Lock()
 	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		if s.loadErr() == nil {
-			s.err.Store(ErrClosed)
-		}
-		// Complete the driver even though the output is discarded: the
-		// partitioned pipeline parks worker goroutines that only a Close
-		// releases. Errors are irrelevant on the cancel path.
-		s.driver.Close() //nolint:errcheck
-	}
-	s.closeDeltasLocked()
+	s.closeSessionLocked(ErrClosed)
 	s.mu.Unlock()
+	s.ingestMu.Unlock()
 	s.runTeardown()
 }
 
-// closeGraceful finishes the standing query: it stops routing, completes the
-// pipeline input (closing bounded relations and flushing pending timers),
-// and returns the final delta those completions produce, if any. The final
-// delta is returned rather than channeled so a subscriber that has stopped
-// draining cannot deadlock its own close.
-func (s *Session) closeGraceful() (*Delta, error) {
-	// Unblock a delivery already waiting on the (no longer drained)
-	// channel; the interrupted producer sees ErrClosed and the manager
-	// drops the session.
-	s.once.Do(func() { close(s.done) })
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.runTeardown()
-		return nil, s.terminalErr()
-	}
-	s.closed = true
-	s.mu.Unlock()
-	// Stop the manager from routing before finishing the pipeline; this
-	// waits out any in-flight publish.
-	s.runTeardown()
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.driver.Close(); err != nil {
-		if s.loadErr() == nil {
-			s.err.Store(err)
-		}
-		s.closeDeltasLocked()
-		return nil, err
-	}
-	final := mergeDeltas(s.cfg.Mode, s.pending, s.renderLocked())
-	s.pending = nil
-	if final != nil {
-		s.deltasOut.Add(1)
-	}
-	s.closeDeltasLocked()
-	return final, nil
-}
-
-// mergeDeltas folds a delivery interrupted by Close into the close-time
-// delta so the subscriber's sequence stays gapless.
+// mergeDeltas folds two consecutive deltas into one so an interrupted
+// delivery concatenates gaplessly with the close-time delta.
 func mergeDeltas(mode Mode, a, b *Delta) *Delta {
 	if a == nil {
 		return b
@@ -337,22 +498,9 @@ func mergeDeltas(mode Mode, a, b *Delta) *Delta {
 	return &out
 }
 
-// stats snapshots the counters. It takes no locks, so it stays responsive
-// while a Block-policy delivery is stalled on a full channel.
-func (s *Session) stats() Stats {
-	return Stats{
-		EventsIn:   s.eventsIn.Load(),
-		DeltasOut:  s.deltasOut.Load(),
-		RowsOut:    s.rowsOut.Load(),
-		Watermark:  types.Time(s.wm.Load()),
-		QueueDepth: len(s.deltas),
-		Partitions: s.partitions,
-	}
-}
-
-// String renders a one-line diagnostic summary.
+// String renders a one-line diagnostic summary of the shared pipeline.
 func (s *Session) String() string {
-	st := s.stats()
-	return fmt.Sprintf("live %s [%s] in=%d deltas=%d rows=%d wm=%s q=%d",
-		s.cfg.Mode, s.cfg.Name, st.EventsIn, st.DeltasOut, st.RowsOut, st.Watermark, st.QueueDepth)
+	return fmt.Sprintf("live %s [%s] id=%d subs=%d in=%d wm=%s",
+		s.cfg.Mode, s.cfg.Name, s.id.Load(), s.nsubs.Load(), s.eventsIn.Load(),
+		types.Time(s.wm.Load()))
 }

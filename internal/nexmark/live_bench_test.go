@@ -105,6 +105,8 @@ func measureLive(t testing.TB, bids tvr.Changelog, mode live.Mode, parts int) be
 		Query:        "Per-auction windowed max (EMIT AFTER WATERMARK)",
 		Mode:         mode.String(),
 		Partitions:   st.Partitions,
+		Subscribers:  1,
+		Shared:       true,
 		Events:       len(bids),
 		Deltas:       st.DeltasOut,
 		Rows:         st.RowsOut,
@@ -114,6 +116,100 @@ func measureLive(t testing.TB, bids tvr.Changelog, mode live.Mode, parts int) be
 		LatencyP99Ns: bench.PercentileNs(latencies, 0.99),
 		LatencyMaxNs: bench.PercentileNs(latencies, 1.00),
 	}
+}
+
+// measureLiveFanout is the K-subscriber serving scenario: K standing
+// subscriptions to the same SQL, either sharing one resident pipeline
+// (shared=true, the plan-cache path) or each on a dedicated pipeline
+// (shared=false, Exclusive). The bid changelog is ingested once; Deltas,
+// Rows, and latency samples aggregate across all K subscribers, so the
+// record directly compares fan-out cost: the shared configuration evaluates
+// each change once and hands it to K cursors, the unshared one evaluates it
+// K times.
+func measureLiveFanout(t testing.TB, bids tvr.Changelog, k int, shared bool) bench.LiveResult {
+	t.Helper()
+	e := core.NewEngine()
+	if err := e.RegisterStream("Bid", BidFullSchema()); err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*live.Subscription, k)
+	for i := range subs {
+		var err error
+		subs[i], err = e.SubscribeStream(liveBenchSQL, core.SubscribeOptions{
+			Buffer: len(bids) + 16, Exclusive: !shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSessions := 1
+	if !shared {
+		wantSessions = k
+	}
+	if got := e.LiveSessions(); got != wantSessions {
+		t.Fatalf("%d resident pipelines for shared=%v, want %d", got, shared, wantSessions)
+	}
+	var latencies []int64
+	drainAll := func(since time.Time) {
+		for _, sub := range subs {
+			draining := true
+			for draining {
+				select {
+				case _, ok := <-sub.Deltas():
+					if !ok {
+						draining = false
+						break
+					}
+					latencies = append(latencies, time.Since(since).Nanoseconds())
+				default:
+					draining = false
+				}
+			}
+		}
+	}
+	start := time.Now()
+	for _, ev := range bids {
+		t0 := time.Now()
+		var err error
+		switch ev.Kind {
+		case tvr.Insert:
+			err = e.Insert("Bid", ev.Ptime, ev.Row)
+		case tvr.Delete:
+			err = e.Delete("Bid", ev.Ptime, ev.Row)
+		case tvr.Watermark:
+			err = e.AdvanceWatermark("Bid", ev.Ptime, ev.Wm)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainAll(t0)
+	}
+	ingestNs := time.Since(start).Nanoseconds()
+	res := bench.LiveResult{
+		Query:       "Per-auction windowed max, K-subscriber fan-out",
+		Mode:        live.Stream.String(),
+		Partitions:  subs[0].Stats().Partitions,
+		Subscribers: k,
+		Shared:      shared,
+		Events:      len(bids),
+		IngestNs:    ingestNs,
+	}
+	for _, sub := range subs {
+		st := sub.Stats()
+		res.Deltas += st.DeltasOut
+		res.Rows += st.RowsOut
+		if _, err := sub.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Deltas == 0 {
+		t.Fatal("fan-out benchmark delivered no deltas")
+	}
+	res.LatencyP50Ns = bench.PercentileNs(latencies, 0.50)
+	res.LatencyP95Ns = bench.PercentileNs(latencies, 0.95)
+	res.LatencyP99Ns = bench.PercentileNs(latencies, 0.99)
+	res.LatencyMaxNs = bench.PercentileNs(latencies, 1.00)
+	return res
 }
 
 // TestLiveBench measures steady-state subscription serving and writes
@@ -127,6 +223,12 @@ func TestLiveBench(t *testing.T) {
 	}
 	g := Generate(GeneratorConfig{Seed: 42, NumEvents: n, MaxOutOfOrderness: 2 * types.Second})
 	rec := bench.NewLive("nexmark-live", testing.Short() || raceEnabled)
+	logRes := func(res bench.LiveResult) {
+		t.Logf("%s parts=%d subs=%d shared=%v: %d events, %d deltas, %.0f events/s, p50=%s p99=%s",
+			res.Mode, res.Partitions, res.Subscribers, res.Shared, res.Events, res.Deltas,
+			float64(res.Events)/(float64(res.IngestNs)/1e9),
+			time.Duration(res.LatencyP50Ns), time.Duration(res.LatencyP99Ns))
+	}
 	for _, cfg := range []struct {
 		mode  live.Mode
 		parts int
@@ -137,10 +239,21 @@ func TestLiveBench(t *testing.T) {
 	} {
 		res := measureLive(t, g.Bids, cfg.mode, cfg.parts)
 		rec.Add(res)
-		t.Logf("%s parts=%d: %d events, %d deltas, %.0f events/s, p50=%s p99=%s",
-			res.Mode, res.Partitions, res.Events, res.Deltas,
-			float64(res.Events)/(float64(res.IngestNs)/1e9),
-			time.Duration(res.LatencyP50Ns), time.Duration(res.LatencyP99Ns))
+		logRes(res)
+	}
+	// K-subscriber fan-out: one shared resident pipeline vs. K dedicated
+	// pipelines for the same SQL. Shared must sustain at least the
+	// unshared ingest throughput (it does strictly less evaluation work).
+	const fanout = 4
+	sharedRes := measureLiveFanout(t, g.Bids, fanout, true)
+	rec.Add(sharedRes)
+	logRes(sharedRes)
+	unsharedRes := measureLiveFanout(t, g.Bids, fanout, false)
+	rec.Add(unsharedRes)
+	logRes(unsharedRes)
+	if sharedRes.Deltas != unsharedRes.Deltas || sharedRes.Rows != unsharedRes.Rows {
+		t.Errorf("shared fan-out delivered %d deltas/%d rows, unshared %d/%d — outputs must match",
+			sharedRes.Deltas, sharedRes.Rows, unsharedRes.Deltas, unsharedRes.Rows)
 	}
 	out := "../../BENCH_live.json"
 	if rec.ShortMode {
