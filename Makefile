@@ -3,7 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-diff bench-full bench-live verify
+# Benchmark scale overrides, read by the harnesses via the environment:
+#   BENCH_COUNT=60000   pin the exact event count for every bench-* target
+#   BENCH_SCALE=0.25    multiply each harness's built-in default instead
+# BENCH_COUNT wins when both are set; unset means the built-in defaults.
+# e.g.  make bench-live BENCH_COUNT=100000
+#       make bench-recovery BENCH_SCALE=2
+BENCH_COUNT ?=
+BENCH_SCALE ?=
+export BENCH_COUNT BENCH_SCALE
+
+.PHONY: all build vet test race bench bench-diff bench-full bench-live bench-recovery verify
 
 all: verify
 
@@ -25,7 +35,7 @@ race:
 # full-scale BENCH_nexmark.json / BENCH_live.json are only rewritten by
 # bench-full / bench-live.
 bench:
-	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench' -short -v
+	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench|TestRecoveryBench' -short -v
 
 # Standing-query serving benchmark: ingests the NEXMark bid stream through
 # live subscriptions — single-subscriber scenarios plus the K-subscriber
@@ -33,6 +43,13 @@ bench:
 # throughput + per-delta latency percentiles).
 bench-live:
 	$(GO) test ./internal/nexmark -run TestLiveBench -v -timeout 10m
+
+# Recovery benchmark: checkpoint size, checkpoint/restore latency, and the
+# full-history replay it replaces, for the standing benchmark query (serial
+# and partitioned). Merges into the Recovery section of BENCH_live.json
+# (short runs: BENCH_live_short.json) without touching the subscription rows.
+bench-recovery:
+	$(GO) test ./internal/nexmark -run TestRecoveryBench -v -timeout 10m
 
 # Compare fresh short benchmark runs against the committed short-mode
 # baselines (like for like — short runs never compare against the
@@ -45,7 +62,7 @@ bench-diff:
 	livebase=$$(mktemp -t bench_live_base.XXXXXX.json) && \
 	cp BENCH_nexmark_short.json $$base && \
 	cp BENCH_live_short.json $$livebase && \
-	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestLiveBench' -short && \
+	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestLiveBench|TestRecoveryBench' -short && \
 	$(GO) run ./cmd/benchdiff $$base BENCH_nexmark_short.json && \
 	$(GO) run ./cmd/benchdiff $$livebase BENCH_live_short.json; \
 	status=$$?; rm -f $$base $$livebase; exit $$status

@@ -27,15 +27,16 @@ import (
 	"repro/internal/bench"
 )
 
-// record is the union of the two on-disk shapes: exactly one of Queries and
-// Subscriptions is populated.
+// record is the union of the on-disk shapes: NEXMark records populate
+// Queries; live records populate Subscriptions and/or Recovery.
 type record struct {
-	Benchmark     string              `json:"benchmark"`
-	Timestamp     string              `json:"timestamp"`
-	GoMaxProcs    int                 `json:"gomaxprocs"`
-	ShortMode     bool                `json:"short_mode"`
-	Queries       []bench.QueryResult `json:"queries"`
-	Subscriptions []bench.LiveResult  `json:"subscriptions"`
+	Benchmark     string                 `json:"benchmark"`
+	Timestamp     string                 `json:"timestamp"`
+	GoMaxProcs    int                    `json:"gomaxprocs"`
+	ShortMode     bool                   `json:"short_mode"`
+	Queries       []bench.QueryResult    `json:"queries"`
+	Subscriptions []bench.LiveResult     `json:"subscriptions"`
+	Recovery      []bench.RecoveryResult `json:"recovery"`
 }
 
 func main() {
@@ -53,8 +54,14 @@ func main() {
 	}
 	header(os.Stdout, oldRec, newRec)
 	switch {
-	case len(newRec.Subscriptions) > 0 || len(oldRec.Subscriptions) > 0:
-		diffLive(os.Stdout, oldRec, newRec)
+	case len(newRec.Subscriptions) > 0 || len(oldRec.Subscriptions) > 0 ||
+		len(newRec.Recovery) > 0 || len(oldRec.Recovery) > 0:
+		if len(newRec.Subscriptions) > 0 || len(oldRec.Subscriptions) > 0 {
+			diffLive(os.Stdout, oldRec, newRec)
+		}
+		if len(newRec.Recovery) > 0 || len(oldRec.Recovery) > 0 {
+			diffRecovery(os.Stdout, oldRec, newRec)
+		}
 	default:
 		diffQueries(os.Stdout, oldRec, newRec)
 	}
@@ -147,6 +154,40 @@ func diffLive(w *os.File, oldRec, newRec *record) {
 		if _, gone := byKey[liveKey(oq)]; gone {
 			fmt.Fprintf(w, "%-40.40s %-6s %3d %3d %7v %12s (removed, was %.0f ev/s)\n",
 				oq.Query, oq.Mode, oq.Partitions, oq.Subscribers, oq.Shared, "-", oq.EventsPerSec)
+		}
+	}
+}
+
+// recoveryKey identifies a checkpoint/restore scenario across records.
+func recoveryKey(q bench.RecoveryResult) string {
+	return fmt.Sprintf("%s/%s/p%d", q.Query, q.Mode, q.Partitions)
+}
+
+// diffRecovery prints the checkpoint-size and restore-vs-replay deltas from
+// the Recovery section of live records (`make bench-recovery`).
+func diffRecovery(w *os.File, oldRec, newRec *record) {
+	byKey := make(map[string]bench.RecoveryResult, len(oldRec.Recovery))
+	for _, q := range oldRec.Recovery {
+		byKey[recoveryKey(q)] = q
+	}
+	fmt.Fprintf(w, "\n%-40s %3s %10s %10s %10s %9s %9s %8s\n",
+		"recovery", "p", "ckpt KiB", "restore", "replay", "speedup", "baseline", "delta")
+	for _, nq := range newRec.Recovery {
+		line := fmt.Sprintf("%-40.40s %3d %10.1f %10s %10s %8.2fx",
+			nq.Query, nq.Partitions, float64(nq.CheckpointBytes)/1024,
+			time.Duration(nq.RestoreNs), time.Duration(nq.ReplayNs), nq.Speedup)
+		oq, ok := byKey[recoveryKey(nq)]
+		if !ok {
+			fmt.Fprintf(w, "%s %9s %8s\n", line, "(new)", "")
+			continue
+		}
+		delete(byKey, recoveryKey(nq))
+		fmt.Fprintf(w, "%s %8.2fx %+7.1f%%\n", line, oq.Speedup, pct(nq.Speedup, oq.Speedup))
+	}
+	for _, oq := range oldRec.Recovery {
+		if _, gone := byKey[recoveryKey(oq)]; gone {
+			fmt.Fprintf(w, "%-40.40s %3d %10s %10s %10s %9s (removed, was %.2fx)\n",
+				oq.Query, oq.Partitions, "-", "-", "-", "-", oq.Speedup)
 		}
 	}
 }

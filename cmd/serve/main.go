@@ -4,47 +4,184 @@
 // deltas back over chunked ndjson responses — no recompilation or history
 // rescan per request.
 //
+// With -data-dir the process is durable: the engine (catalog, recorded
+// changelogs, and every shareable resident standing-query pipeline) is
+// checkpointed periodically and on SIGINT/SIGTERM with a crash-safe atomic
+// file swap, and a restart restores it from the last checkpoint — restored
+// pipelines resume exactly where they stopped, so reconnecting subscribers
+// attach to them (snapshot hand-off included) without any history rescan.
+// Changes ingested after the last completed checkpoint are rewound with the
+// rest of the engine: catalog and pipelines always restore to one consistent
+// commit point.
+//
 // Demo session (with -nexmark preloading the benchmark catalog):
 //
-//	go run ./cmd/serve -addr :8080 -nexmark 2000 &
+//	go run ./cmd/serve -addr :8080 -nexmark 2000 -data-dir /var/lib/sql1 &
 //	curl 'localhost:8080/v1/query?sql=SELECT+COUNT(*)+c+FROM+Bid'
 //	curl -N 'localhost:8080/v1/subscribe?sql=SELECT+auction,+price+FROM+Bid+WHERE+price+>+900' &
 //	curl -X POST localhost:8080/v1/relations/Bid/events -d \
 //	  '{"events":[{"kind":"insert","ptime":999999999,"row":[1,7,950,999999999]}]}'
 //	# the subscriber prints the matching delta immediately
+//	curl -X POST localhost:8080/v1/checkpoint   # force a durable checkpoint
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nexmark"
 	"repro/internal/types"
 )
 
+// checkpointFileName is the durable engine snapshot inside -data-dir.
+const checkpointFileName = "checkpoint.ckpt"
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		preload = flag.Int("nexmark", 0, "preload the NEXMark catalog with this many generated events (0 = empty engine)")
-		seed    = flag.Int64("seed", 42, "generator seed for -nexmark")
+		addr      = flag.String("addr", ":8080", "listen address")
+		preload   = flag.Int("nexmark", 0, "preload the NEXMark catalog with this many generated events (0 = empty engine; ignored when restoring from -data-dir)")
+		seed      = flag.Int64("seed", 42, "generator seed for -nexmark")
+		dataDir   = flag.String("data-dir", "", "directory for durable checkpoints; restart restores the engine and its standing queries from the last checkpoint")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "interval between periodic checkpoints (needs -data-dir; 0 disables the ticker, leaving on-shutdown and POST /v1/checkpoint)")
 	)
 	flag.Parse()
-
-	engine, err := buildEngine(*preload, *seed)
-	if err != nil {
+	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+}
+
+// run assembles the engine (restoring from the data dir when a checkpoint
+// exists), serves HTTP until SIGINT/SIGTERM, then shuts down gracefully:
+// final checkpoint first (while the resident pipelines are still alive),
+// then drain the standing-query handlers, then close the listener.
+func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration) error {
+	engine, err := openEngine(preload, seed, dataDir)
+	if err != nil {
+		return err
 	}
 	srv := NewServer(engine)
-	log.Printf("serve: listening on %s (nexmark preload: %d events)", *addr, *preload)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+	if dataDir != "" {
+		srv.EnableCheckpoint(filepath.Join(dataDir, checkpointFileName))
 	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic checkpoints, decoupled from request handling.
+	if dataDir != "" && ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n, err := srv.CheckpointNow(); err != nil {
+						log.Printf("serve: periodic checkpoint failed: %v", err)
+					} else {
+						log.Printf("serve: checkpoint written (%d bytes, %d sessions)", n, engine.LiveSessions())
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	log.Printf("serve: listening on %s (nexmark preload: %d events, data-dir: %q)", addr, preload, dataDir)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("serve: shutting down")
+
+	// 1. Final checkpoint while every resident pipeline is still alive —
+	//    canceling a session's last cursor would tear its pipeline down.
+	//    The snapshot runs under the live ordering lock, which a delivery
+	//    parked on a stalled Block-policy subscriber can hold indefinitely;
+	//    if the checkpoint cannot start promptly, end the subscriptions to
+	//    release the park and let it complete against the surviving state
+	//    (the catalog always; torn-down sessions rebuild by history replay
+	//    after restart). Hanging forever would be worse: the operator's
+	//    eventual SIGKILL would discard everything since the last periodic
+	//    checkpoint.
+	if dataDir != "" {
+		ckptDone := make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			if n, err := srv.CheckpointNow(); err != nil {
+				log.Printf("serve: final checkpoint failed: %v", err)
+			} else {
+				log.Printf("serve: final checkpoint written (%d bytes, %d sessions)", n, engine.LiveSessions())
+			}
+		}()
+		select {
+		case <-ckptDone:
+		case <-time.After(5 * time.Second):
+			log.Printf("serve: final checkpoint blocked (delivery parked on a stalled subscriber?); ending subscriptions to release it")
+			srv.CancelSubscriptions()
+			<-ckptDone
+		}
+	}
+	// 2. End the standing-query streams so their chunked handlers return,
+	//    then 3. drain the listener. In-flight one-shot requests get the
+	//    grace period; subscribers reconnect after restart and attach to
+	//    the restored pipelines.
+	srv.CancelSubscriptions()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("serve: stopped")
+	return nil
+}
+
+// openEngine builds the serving engine: restored from the data dir's last
+// checkpoint when one exists, otherwise fresh (optionally preloaded with the
+// NEXMark catalog).
+func openEngine(preload int, seed int64, dataDir string) (*core.Engine, error) {
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dataDir, checkpointFileName)
+		switch _, statErr := os.Stat(path); {
+		case statErr == nil:
+			engine := core.NewEngine(core.WithUnboundedGroupBy())
+			if err := engine.RestoreFile(path); err != nil {
+				return nil, fmt.Errorf("restoring %s: %w", path, err)
+			}
+			log.Printf("serve: restored engine from %s (%d standing queries resume without history replay)",
+				path, engine.LiveSessions())
+			return engine, nil
+		case !os.IsNotExist(statErr):
+			// Only a definitively-absent checkpoint may start fresh: a
+			// transient stat failure must not boot an empty engine whose
+			// next periodic checkpoint would overwrite the durable one.
+			return nil, fmt.Errorf("checking %s: %w", path, statErr)
+		}
+	}
+	return buildEngine(preload, seed)
 }
 
 // buildEngine creates the engine, optionally preloaded with the NEXMark

@@ -24,7 +24,8 @@ package main
 //	GET  /v1/subscribe?sql=&mode=&...   standing query; chunked ndjson deltas
 //	GET  /v1/subscriptions              per-subscription stats + plan sharing
 //	DELETE /v1/subscriptions/{id}       cancel a standing query
-//	GET  /v1/healthz                    liveness + pipeline/subscriber counts
+//	POST /v1/checkpoint                 force a durable checkpoint (needs -data-dir)
+//	GET  /v1/healthz                    liveness + pipeline/subscriber/checkpoint state
 import (
 	"encoding/json"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
@@ -48,6 +50,16 @@ type Server struct {
 	mu     sync.Mutex
 	nextID int
 	subs   map[int]*subEntry
+
+	// Durable checkpoint state (enabled by -data-dir). ckptMu serializes
+	// checkpoint writes so the periodic ticker and the HTTP trigger cannot
+	// interleave temp-file swaps.
+	ckptPath string
+	ckptMu   sync.Mutex
+	lastCkpt struct {
+		at    time.Time
+		bytes int64
+	}
 }
 
 type subEntry struct {
@@ -67,8 +79,52 @@ func NewServer(e *core.Engine) *Server {
 	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubscriptions)
 	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.handleUnsubscribe)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
+}
+
+// EnableCheckpoint turns on durable checkpointing to the given file path
+// (inside -data-dir). CheckpointNow and POST /v1/checkpoint refuse until
+// this is called.
+func (s *Server) EnableCheckpoint(path string) { s.ckptPath = path }
+
+// CheckpointNow writes one durable checkpoint with the crash-safe atomic
+// swap, returning its size. Safe to call concurrently with serving traffic:
+// the engine snapshot runs under the live manager's ordering lock, and
+// writes are serialized here.
+func (s *Server) CheckpointNow() (int64, error) {
+	if s.ckptPath == "" {
+		return 0, fmt.Errorf("checkpointing disabled: run with -data-dir")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	n, err := s.engine.CheckpointFile(s.ckptPath)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.lastCkpt.at = time.Now()
+	s.lastCkpt.bytes = n
+	s.mu.Unlock()
+	return n, nil
+}
+
+// CancelSubscriptions ends every tracked standing query, releasing the
+// chunked subscribe handlers so a graceful HTTP shutdown can drain. Call
+// AFTER the final checkpoint: canceling a session's last cursor tears the
+// resident pipeline down, and a torn-down pipeline has nothing left to
+// checkpoint.
+func (s *Server) CancelSubscriptions() {
+	s.mu.Lock()
+	entries := make([]*subEntry, 0, len(s.subs))
+	for _, e := range s.subs {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.sub.Cancel()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -472,6 +528,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Buffer = n
 	}
+	if v := q.Get("retain"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad retain parameter: %w", err))
+			return
+		}
+		opts.MaxRetainedRows = n
+	}
 	switch q.Get("policy") {
 	case "", "block":
 		opts.Policy = live.Block
@@ -608,9 +672,30 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"canceled": id})
 }
 
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	n, err := s.CheckpointNow()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if s.ckptPath == "" {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": s.ckptPath, "bytes": n})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"ok": true, "liveSessions": s.engine.LiveSessions(),
 		"liveSubscribers": s.engine.LiveSubscribers(),
-	})
+		"checkpointing":   s.ckptPath != "",
+	}
+	s.mu.Lock()
+	if !s.lastCkpt.at.IsZero() {
+		out["lastCheckpoint"] = s.lastCkpt.at.UTC().Format(time.RFC3339)
+		out["lastCheckpointBytes"] = s.lastCkpt.bytes
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
 }

@@ -120,6 +120,35 @@ type LiveResult struct {
 	LatencyMaxNs int64 `json:"latency_max_ns"`
 }
 
+// RecoveryResult is one checkpoint/restore measurement: how big the durable
+// snapshot of an engine (catalog + resident standing-query pipelines) is,
+// and how restoring from it compares with rebuilding the same standing query
+// by full-history replay.
+type RecoveryResult struct {
+	// Query is the standing query measured.
+	Query string `json:"query"`
+	// Mode is the delta rendering ("stream" or "table").
+	Mode string `json:"mode"`
+	// Partitions is the standing pipeline's parallelism (1 = serial).
+	Partitions int `json:"partitions"`
+	// Events is the number of source events ingested before the checkpoint.
+	Events int `json:"events"`
+	// CheckpointBytes is the encoded size of the engine checkpoint.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// CheckpointNs is the median wall-clock time to take the checkpoint.
+	CheckpointNs int64 `json:"checkpoint_ns"`
+	// RestoreNs is the median wall-clock time to restore a fresh engine
+	// (catalog + resident pipeline) from the checkpoint bytes.
+	RestoreNs int64 `json:"restore_ns"`
+	// ReplayNs is the median wall-clock time to rebuild the same standing
+	// query the pre-checkpoint way: compile and replay the full recorded
+	// history through a new pipeline.
+	ReplayNs int64 `json:"replay_ns"`
+	// Speedup is ReplayNs / RestoreNs — how much faster recovery is than
+	// the replay it replaces.
+	Speedup float64 `json:"speedup"`
+}
+
 // LiveRecord is a full standing-query benchmark run.
 type LiveRecord struct {
 	Benchmark     string       `json:"benchmark"`
@@ -129,6 +158,35 @@ type LiveRecord struct {
 	NumCPU        int          `json:"num_cpu"`
 	ShortMode     bool         `json:"short_mode"`
 	Subscriptions []LiveResult `json:"subscriptions"`
+	// Recovery holds checkpoint/restore measurements (populated by
+	// `make bench-recovery`; preserved by the subscription benchmark when
+	// it rewrites the file, and vice versa).
+	Recovery []RecoveryResult `json:"recovery,omitempty"`
+}
+
+// LoadLive reads a live record from disk. A missing file returns (nil, nil)
+// so benchmarks that merge into an existing record can start fresh.
+func LoadLive(path string) (*LiveRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var rec LiveRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("bench: read %s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// AddRecovery appends one recovery measurement, deriving the speedup field.
+func (r *LiveRecord) AddRecovery(q RecoveryResult) {
+	if q.RestoreNs > 0 {
+		q.Speedup = float64(q.ReplayNs) / float64(q.RestoreNs)
+	}
+	r.Recovery = append(r.Recovery, q)
 }
 
 // NewLive creates a live record stamped with the current environment.

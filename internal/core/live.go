@@ -44,6 +44,15 @@ type SubscribeOptions struct {
 	// isolation (a benchmark A/B, or decoupling from a peer's Block-policy
 	// backpressure).
 	Exclusive bool
+	// MaxRetainedRows bounds the shared session's late-attach retention
+	// (the Stream-mode output changelog / Table-mode distinct-row
+	// accumulator). 0 means unbounded. When the retained output outgrows
+	// the cap it is released — memory stays bounded — and later attaches to
+	// that session fail with live.ErrRetainedOverflow instead of receiving
+	// an incomplete snapshot; existing subscribers are unaffected. The cap
+	// is fixed by the subscription that creates the resident pipeline
+	// (later sharers inherit it).
+	MaxRetainedRows int
 }
 
 // SubscribeStream opens a standing query delivering the stream rendering:
@@ -108,11 +117,12 @@ func (e *Engine) subscribe(sql string, mode live.Mode, opts SubscribeOptions) (*
 			d = p
 		}
 		return live.NewSession(d, live.Config{
-			Name:     sql,
-			Mode:     mode,
-			Schema:   pq.Root.Schema(),
-			EmitKeys: pq.EmitKeyIdxs,
-			Sources:  names,
+			Name:            sql,
+			Mode:            mode,
+			Schema:          pq.Root.Schema(),
+			EmitKeys:        pq.EmitKeyIdxs,
+			Sources:         names,
+			MaxRetainedRows: opts.MaxRetainedRows,
 		})
 	}
 	// Attach to the resident pipeline for this plan, or compile one and

@@ -1,0 +1,943 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/plan"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// This file implements durable checkpoint/restore for both drivers: every
+// stateful operator serializes its state through the versioned
+// internal/checkpoint encoding, and a pipeline compiled from the same plan
+// can be re-hydrated to exactly the point the checkpoint was taken — the
+// restored pipeline's subsequent output is byte-identical to the
+// uninterrupted run's.
+//
+// The operator contract: a stateful operator implements
+//
+//	SaveState(*checkpoint.Encoder)
+//	LoadState(*checkpoint.Decoder) error
+//
+// writing every field that influences future emissions — accumulator values,
+// per-group output rows (for retract/emit/suppress), watermarks, late/freed
+// counters, timer queues, and any *iteration order* its containers maintain
+// (order slices are part of the bytes-identical guarantee, not an
+// implementation detail). Map-backed state with no explicit order serializes
+// sorted by key so the same state always produces the same bytes; map keys
+// that are derivable from the stored rows (Row.Key, KeyOf) are re-derived at
+// load rather than stored. Stateless operators simply don't implement the
+// interface. Restore never calls Open: open-time emissions (constant
+// relations, a global aggregate's initial row) already happened before the
+// checkpoint and are part of the restored downstream state.
+//
+// Checkpoints are only taken at quiescent points — between Feed/Advance
+// calls, with no partial round in flight — which both drivers' lifecycle
+// guarantees (Feed and Advance fully sync before returning).
+
+// stateSaver is implemented by operators with checkpointable state.
+type stateSaver interface {
+	SaveState(enc *checkpoint.Encoder)
+	LoadState(dec *checkpoint.Decoder) error
+}
+
+// Driver-kind tags in the checkpoint stream.
+const (
+	driverKindSerial      = "serial"
+	driverKindPartitioned = "partitioned"
+)
+
+// SaveDriver writes a driver's full state (embeddable: the caller owns the
+// stream header and trailer). The driver must be started, unclosed, and
+// quiescent.
+func SaveDriver(enc *checkpoint.Encoder, d Driver) error {
+	enc.Section("exec.Driver")
+	switch x := d.(type) {
+	case *Pipeline:
+		enc.String(driverKindSerial)
+		if err := x.saveState(enc); err != nil {
+			return err
+		}
+	case *PartitionedPipeline:
+		enc.String(driverKindPartitioned)
+		enc.Int(x.parts)
+		if err := x.saveState(enc); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("exec: cannot checkpoint driver of type %T", d)
+	}
+	return enc.Err()
+}
+
+// LoadDriver compiles a fresh pipeline for pq and restores the checkpointed
+// driver state into it. The returned driver is already started (Open is not
+// re-run: open-time emissions happened before the checkpoint) and resumes
+// accepting Feed/Advance exactly where the checkpointed one stopped.
+func LoadDriver(dec *checkpoint.Decoder, pq *plan.PlannedQuery) (Driver, error) {
+	if err := dec.Expect("exec.Driver"); err != nil {
+		return nil, err
+	}
+	kind := dec.String()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case driverKindSerial:
+		p, err := Compile(pq)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.loadState(dec); err != nil {
+			return nil, err
+		}
+		p.opened = true
+		return p, nil
+	case driverKindPartitioned:
+		parts := dec.Int()
+		if err := dec.Err(); err != nil {
+			return nil, err
+		}
+		pp, err := CompilePartitioned(pq, parts)
+		if err != nil {
+			return nil, err
+		}
+		if err := pp.loadState(dec); err != nil {
+			return nil, err
+		}
+		pp.opened = true
+		pp.launchWorkers()
+		return pp, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown driver kind %q in checkpoint", kind)
+	}
+}
+
+// Checkpoint writes a standalone checkpoint stream for the serial pipeline.
+func (p *Pipeline) Checkpoint(w io.Writer) error {
+	enc := checkpoint.NewEncoder(w)
+	if err := SaveDriver(enc, p); err != nil {
+		return err
+	}
+	return enc.Close()
+}
+
+// CompileFromCheckpoint compiles pq and restores a serial pipeline from a
+// standalone checkpoint stream written by Checkpoint.
+func CompileFromCheckpoint(pq *plan.PlannedQuery, r io.Reader) (*Pipeline, error) {
+	d, err := restoreDriver(pq, r)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := d.(*Pipeline)
+	if !ok {
+		return nil, fmt.Errorf("exec: checkpoint holds a %T, not a serial pipeline", d)
+	}
+	return p, nil
+}
+
+// Checkpoint writes a standalone checkpoint stream for the partitioned
+// pipeline.
+func (pp *PartitionedPipeline) Checkpoint(w io.Writer) error {
+	enc := checkpoint.NewEncoder(w)
+	if err := SaveDriver(enc, pp); err != nil {
+		return err
+	}
+	return enc.Close()
+}
+
+// CompilePartitionedFromCheckpoint compiles pq and restores a partitioned
+// pipeline from a standalone checkpoint stream. The partition count is read
+// from the stream, so the restored pipeline routes exactly as the
+// checkpointed one did.
+func CompilePartitionedFromCheckpoint(pq *plan.PlannedQuery, r io.Reader) (*PartitionedPipeline, error) {
+	d, err := restoreDriver(pq, r)
+	if err != nil {
+		return nil, err
+	}
+	pp, ok := d.(*PartitionedPipeline)
+	if !ok {
+		return nil, fmt.Errorf("exec: checkpoint holds a %T, not a partitioned pipeline", d)
+	}
+	return pp, nil
+}
+
+// restoreDriver reads one standalone checkpoint stream.
+func restoreDriver(pq *plan.PlannedQuery, r io.Reader) (Driver, error) {
+	dec, err := checkpoint.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := LoadDriver(dec, pq)
+	if err != nil {
+		return nil, err
+	}
+	if err := dec.Close(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ---- pipeline-level save/load ----
+
+// saveState writes the serial pipeline's operator states in build order.
+func (p *Pipeline) saveState(enc *checkpoint.Encoder) error {
+	if !p.opened || p.closed {
+		return fmt.Errorf("exec: can only checkpoint a started, unclosed pipeline")
+	}
+	enc.Section("exec.Pipeline")
+	saveOps(enc, p.allOps)
+	return enc.Err()
+}
+
+// loadState restores the operator states into a freshly compiled pipeline.
+func (p *Pipeline) loadState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("exec.Pipeline"); err != nil {
+		return err
+	}
+	return loadOps(dec, p.allOps)
+}
+
+// saveState writes the partitioned pipeline's state: the delivery-sequence
+// counter, per-port watermark/heartbeat merge state, the serial tail, and
+// all N partition chains.
+func (pp *PartitionedPipeline) saveState(enc *checkpoint.Encoder) error {
+	switch {
+	case !pp.opened || pp.closed:
+		return fmt.Errorf("exec: can only checkpoint a started, unclosed pipeline")
+	case pp.failed != nil:
+		return fmt.Errorf("exec: cannot checkpoint a failed pipeline: %w", pp.failed)
+	case pp.fallback != nil:
+		return fmt.Errorf("exec: cannot checkpoint after a one-shot Run")
+	case pp.pending != 0 || pp.inflight != nil:
+		return fmt.Errorf("exec: internal: checkpoint of a non-quiescent pipeline")
+	}
+	enc.Section("exec.PartitionedPipeline")
+	enc.Varint(int64(pp.seq))
+	enc.Uvarint(uint64(len(pp.ports)))
+	for i := range pp.ports {
+		ps := &pp.ports[i]
+		ps.wmMerge.SaveState(enc)
+		enc.Time(ps.wmPtime)
+		enc.Int(ps.wmSeq)
+		enc.Bool(ps.hasHB)
+		enc.Time(ps.lastHB)
+	}
+	enc.Section("exec.tail")
+	saveOps(enc, pp.tailOps)
+	for i, c := range pp.chains {
+		enc.Section(fmt.Sprintf("exec.chain%d", i))
+		saveOps(enc, c.pipe.allOps)
+	}
+	return enc.Err()
+}
+
+// loadState restores into a freshly compiled partitioned pipeline (same plan,
+// same partition count).
+func (pp *PartitionedPipeline) loadState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("exec.PartitionedPipeline"); err != nil {
+		return err
+	}
+	pp.seq = int(dec.Varint())
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(pp.ports) {
+		return fmt.Errorf("exec: checkpoint has %d exchange ports, plan has %d", n, len(pp.ports))
+	}
+	for i := range pp.ports {
+		ps := &pp.ports[i]
+		if err := ps.wmMerge.LoadState(dec); err != nil {
+			return err
+		}
+		ps.wmPtime = dec.Time()
+		ps.wmSeq = dec.Int()
+		ps.hasHB = dec.Bool()
+		ps.lastHB = dec.Time()
+	}
+	if err := dec.Expect("exec.tail"); err != nil {
+		return err
+	}
+	if err := loadOps(dec, pp.tailOps); err != nil {
+		return err
+	}
+	for i, c := range pp.chains {
+		if err := dec.Expect(fmt.Sprintf("exec.chain%d", i)); err != nil {
+			return err
+		}
+		if err := loadOps(dec, c.pipe.allOps); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
+}
+
+// saveOps writes each operator's state framed by a section naming its
+// position and type, so a plan/checkpoint mismatch fails loudly at the first
+// divergent operator. Stateless operators contribute only their frame.
+func saveOps(enc *checkpoint.Encoder, ops []sink) {
+	enc.Uvarint(uint64(len(ops)))
+	for i, op := range ops {
+		enc.Section(fmt.Sprintf("op%d:%T", i, op))
+		if s, ok := op.(stateSaver); ok {
+			s.SaveState(enc)
+		}
+	}
+}
+
+// loadOps restores each operator's state; the compiled operator list must
+// match the checkpoint's (same plan → same build order and types).
+func loadOps(dec *checkpoint.Decoder, ops []sink) error {
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(ops) {
+		return fmt.Errorf("exec: checkpoint has %d operators, pipeline has %d (plan changed?)", n, len(ops))
+	}
+	for i, op := range ops {
+		if err := dec.Expect(fmt.Sprintf("op%d:%T", i, op)); err != nil {
+			return err
+		}
+		if s, ok := op.(stateSaver); ok {
+			if err := s.LoadState(dec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- operator states ----
+
+// SaveState implements stateSaver: the scan's clock and completion bit.
+func (s *scanOp) SaveState(enc *checkpoint.Encoder) {
+	enc.Time(s.lastPtime)
+	enc.Bool(s.finished)
+}
+
+// LoadState implements stateSaver.
+func (s *scanOp) LoadState(dec *checkpoint.Decoder) error {
+	s.lastPtime = dec.Time()
+	s.finished = dec.Bool()
+	return dec.Err()
+}
+
+// SaveState implements stateSaver: the collector's materialized relation,
+// output counters, watermark, and the not-yet-drained output tail. The
+// already-drained prefix of the output log is NOT retained — a restored
+// pipeline's Drain resumes exactly at the first undelivered event, which is
+// what keeps the concatenation of pre- and post-restore drains identical to
+// the uninterrupted sequence. (Standing queries retain delivered history at
+// the session layer, where retention policy lives.)
+func (c *Collector) SaveState(enc *checkpoint.Encoder) {
+	c.rel.SaveState(enc)
+	enc.Int(c.outN)
+	enc.Time(c.wm)
+	tvr.SaveChangelog(enc, c.log[c.drained:])
+}
+
+// LoadState implements stateSaver.
+func (c *Collector) LoadState(dec *checkpoint.Decoder) error {
+	if err := c.rel.LoadState(dec); err != nil {
+		return err
+	}
+	c.outN = dec.Int()
+	c.wm = dec.Time()
+	tail, err := tvr.LoadChangelog(dec)
+	if err != nil {
+		return err
+	}
+	c.log = tail
+	c.drained = 0
+	return dec.Err()
+}
+
+// SaveState implements stateSaver: DISTINCT's per-row multiplicities, sorted
+// by row key (the map key is re-derived from the row at load).
+func (d *distinctOp) SaveState(enc *checkpoint.Encoder) {
+	keys := tvr.SortedKeys(d.counts)
+	enc.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		rc := d.counts[k]
+		enc.Row(rc.row)
+		enc.Int(rc.count)
+	}
+}
+
+// LoadState implements stateSaver.
+func (d *distinctOp) LoadState(dec *checkpoint.Decoder) error {
+	n := int(dec.Uvarint())
+	for i := 0; i < n; i++ {
+		row := dec.Row()
+		count := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		d.counts[row.Key()] = &rowCount{row: row, count: count}
+	}
+	return dec.Err()
+}
+
+// save/load for the shared multi-input control-merge state.
+func (m *mergingSink) saveMergeState(enc *checkpoint.Encoder) {
+	enc.Section("mergingSink")
+	enc.Int(m.finished)
+	enc.Uvarint(uint64(len(m.wms)))
+	for _, wm := range m.wms {
+		enc.Time(wm)
+	}
+	enc.Time(m.mergedWM)
+	enc.Bool(m.hasHB)
+	enc.Time(m.lastHB)
+}
+
+func (m *mergingSink) loadMergeState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("mergingSink"); err != nil {
+		return err
+	}
+	m.finished = dec.Int()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != m.inputs {
+		return fmt.Errorf("exec: checkpoint has %d merge inputs, operator has %d", n, m.inputs)
+	}
+	for i := range m.wms {
+		m.wms[i] = dec.Time()
+	}
+	m.mergedWM = dec.Time()
+	m.hasHB = dec.Bool()
+	m.lastHB = dec.Time()
+	return dec.Err()
+}
+
+// SaveState implements stateSaver (UNION ALL holds only merge state).
+func (u *unionOp) SaveState(enc *checkpoint.Encoder) { u.saveMergeState(enc) }
+
+// LoadState implements stateSaver.
+func (u *unionOp) LoadState(dec *checkpoint.Decoder) error { return u.loadMergeState(dec) }
+
+// SaveState implements stateSaver: both sides' multiplicities and the output
+// multiplicity per row, sorted by row key.
+func (s *setOp) SaveState(enc *checkpoint.Encoder) {
+	s.saveMergeState(enc)
+	keys := tvr.SortedKeys(s.rowsByKey)
+	enc.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		enc.Row(s.rowsByKey[k])
+		enc.Int(s.leftN[k])
+		enc.Int(s.rightN[k])
+		enc.Int(s.outN[k])
+	}
+}
+
+// LoadState implements stateSaver.
+func (s *setOp) LoadState(dec *checkpoint.Decoder) error {
+	if err := s.loadMergeState(dec); err != nil {
+		return err
+	}
+	n := int(dec.Uvarint())
+	for i := 0; i < n; i++ {
+		row := dec.Row()
+		l, r, o := dec.Int(), dec.Int(), dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		k := row.Key()
+		s.rowsByKey[k] = row
+		s.leftN[k] = l
+		s.rightN[k] = r
+		s.outN[k] = o
+	}
+	return dec.Err()
+}
+
+// SaveState implements stateSaver: both join sides' bucketed rows with live
+// and match counts. Buckets serialize sorted by equi-key; *within* a bucket
+// the slice order is preserved — it determines the order matching pairs are
+// emitted in, so it is part of the byte-identical contract.
+func (j *joinOp) SaveState(enc *checkpoint.Encoder) {
+	j.saveMergeState(enc)
+	for _, side := range []*joinSide{j.left, j.right} {
+		keys := tvr.SortedKeys(side.buckets)
+		enc.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			bucket := side.buckets[k]
+			enc.Uvarint(uint64(len(bucket)))
+			for _, jr := range bucket {
+				enc.Row(jr.row)
+				enc.Int(jr.count)
+				enc.Int(jr.matches)
+			}
+		}
+	}
+}
+
+// LoadState implements stateSaver.
+func (j *joinOp) LoadState(dec *checkpoint.Decoder) error {
+	if err := j.loadMergeState(dec); err != nil {
+		return err
+	}
+	for sideIdx, side := range []*joinSide{j.left, j.right} {
+		nb := int(dec.Uvarint())
+		for b := 0; b < nb; b++ {
+			nr := int(dec.Uvarint())
+			var key string
+			for r := 0; r < nr; r++ {
+				row := dec.Row()
+				count := dec.Int()
+				matches := dec.Int()
+				if err := dec.Err(); err != nil {
+					return err
+				}
+				if r == 0 {
+					key = j.keyFor(sideIdx, row)
+				}
+				side.buckets[key] = append(side.buckets[key], &joinRow{row: row, count: count, matches: matches})
+				side.size += count
+			}
+		}
+	}
+	return dec.Err()
+}
+
+// SaveState implements stateSaver: the session-window multiset. Tumble/Hop
+// are stateless but still write their (empty) frame so the format is uniform
+// per operator type.
+func (w *windowOp) SaveState(enc *checkpoint.Encoder) {
+	enc.Uvarint(uint64(len(w.timeList)))
+	for _, ts := range w.timeList {
+		enc.Time(ts)
+		enc.Int(w.times[ts])
+		refs := w.rowsAt[ts]
+		enc.Uvarint(uint64(len(refs)))
+		for _, rr := range refs {
+			enc.Row(rr.row)
+			enc.Int(rr.count)
+		}
+	}
+}
+
+// LoadState implements stateSaver. The timeList keeps even zero-count
+// timestamps: their position in the list is the iteration order session
+// retract/re-emit cascades follow, so dropping them would reorder output
+// after a re-insert.
+func (w *windowOp) LoadState(dec *checkpoint.Decoder) error {
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n > 0 && w.times == nil {
+		return fmt.Errorf("exec: checkpoint has session-window state for a stateless window operator")
+	}
+	for i := 0; i < n; i++ {
+		ts := dec.Time()
+		count := dec.Int()
+		nr := int(dec.Uvarint())
+		var refs []rowRef
+		for r := 0; r < nr; r++ {
+			row := dec.Row()
+			rc := dec.Int()
+			refs = append(refs, rowRef{row: row, count: rc})
+		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		w.timeList = append(w.timeList, ts)
+		w.times[ts] = count
+		w.rowsAt[ts] = refs
+	}
+	return dec.Err()
+}
+
+// ---- aggregate states ----
+
+// saveAcc serializes one accumulator by kind; loadAcc mirrors it. The
+// multiset-backed accumulators (MIN/MAX, DISTINCT) re-derive their map keys
+// from the stored values and serialize sorted by key.
+func saveAcc(enc *checkpoint.Encoder, acc accumulator) {
+	switch a := acc.(type) {
+	case *countStarAcc:
+		enc.Varint(a.n)
+	case *countAcc:
+		enc.Varint(a.n)
+	case *sumAcc:
+		enc.Varint(a.i)
+		enc.Value(types.NewFloat(a.f))
+		enc.Varint(a.n)
+	case *avgAcc:
+		enc.Varint(a.sumI)
+		enc.Value(types.NewFloat(a.sumF))
+		enc.Varint(a.n)
+		enc.Bool(a.inexact)
+	case *minMaxAcc:
+		enc.Varint(a.n)
+		enc.Bool(a.valid)
+		enc.Value(a.current)
+		keys := tvr.SortedKeys(a.counts)
+		enc.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e := a.counts[k]
+			enc.Value(e.val)
+			enc.Int(e.count)
+		}
+	case *distinctAcc:
+		keys := tvr.SortedKeys(a.counts)
+		enc.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e := a.counts[k]
+			enc.Value(e.val)
+			enc.Int(e.count)
+		}
+		saveAcc(enc, a.inner)
+	}
+}
+
+func loadAcc(dec *checkpoint.Decoder, acc accumulator) error {
+	switch a := acc.(type) {
+	case *countStarAcc:
+		a.n = dec.Varint()
+	case *countAcc:
+		a.n = dec.Varint()
+	case *sumAcc:
+		a.i = dec.Varint()
+		a.f = dec.Value().Float()
+		a.n = dec.Varint()
+	case *avgAcc:
+		a.sumI = dec.Varint()
+		a.sumF = dec.Value().Float()
+		a.n = dec.Varint()
+		a.inexact = dec.Bool()
+	case *minMaxAcc:
+		a.n = dec.Varint()
+		a.valid = dec.Bool()
+		a.current = dec.Value()
+		n := int(dec.Uvarint())
+		var scratch []byte
+		for i := 0; i < n; i++ {
+			v := dec.Value()
+			count := dec.Int()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			scratch = v.AppendKey(scratch[:0])
+			a.counts[string(scratch)] = &minMaxEntry{val: v, count: count}
+		}
+	case *distinctAcc:
+		n := int(dec.Uvarint())
+		var scratch []byte
+		for i := 0; i < n; i++ {
+			v := dec.Value()
+			count := dec.Int()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			scratch = v.AppendKey(scratch[:0])
+			a.counts[string(scratch)] = &distinctEntry{val: v, count: count}
+		}
+		return loadAcc(dec, a.inner)
+	}
+	return dec.Err()
+}
+
+// saveAggCommon serializes the group bookkeeping shared by all three
+// aggregate stages: watermark, late/freed counters, and the group order.
+func saveAggCommon(enc *checkpoint.Encoder, wm types.Time, lateDrop, freed, groups int) {
+	enc.Time(wm)
+	enc.Int(lateDrop)
+	enc.Int(freed)
+	enc.Uvarint(uint64(groups))
+}
+
+// SaveState implements stateSaver: every group in first-seen order with its
+// key row, live-row count, accumulator states (live groups only), and last
+// emitted output row.
+func (a *aggOp) SaveState(enc *checkpoint.Encoder) {
+	saveAggCommon(enc, a.wm, a.lateDrop, a.freed, len(a.order))
+	for _, gk := range a.order {
+		g := a.groups[gk]
+		enc.Row(g.keyRow)
+		enc.Int(g.n)
+		enc.Bool(g.dead)
+		enc.Row(g.outRow)
+		if !g.dead {
+			for _, acc := range g.accs {
+				saveAcc(enc, acc)
+			}
+		}
+	}
+}
+
+// LoadState implements stateSaver.
+func (a *aggOp) LoadState(dec *checkpoint.Decoder) error {
+	a.wm = dec.Time()
+	a.lateDrop = dec.Int()
+	a.freed = dec.Int()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// A global aggregate's Open already created its one group; restore
+	// replaces it wholesale.
+	a.groups = make(map[string]*aggGroup, checkpoint.CapHint(uint64(n)))
+	a.order = a.order[:0]
+	for i := 0; i < n; i++ {
+		keyRow := dec.Row()
+		gn := dec.Int()
+		dead := dec.Bool()
+		outRow := dec.Row()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		g := &aggGroup{keyRow: keyRow, n: gn, dead: dead, outRow: outRow}
+		if !dead {
+			g.accs = make([]accumulator, len(a.aggs))
+			for ci, call := range a.aggs {
+				g.accs[ci] = newAccumulator(call)
+				if err := loadAcc(dec, g.accs[ci]); err != nil {
+					return err
+				}
+			}
+		}
+		gk := keyRow.Key()
+		a.groups[gk] = g
+		a.order = append(a.order, gk)
+	}
+	return dec.Err()
+}
+
+// SaveState implements stateSaver for the per-partition half of a two-stage
+// aggregate.
+func (p *partialAggOp) SaveState(enc *checkpoint.Encoder) {
+	saveAggCommon(enc, p.wm, p.lateDrop, p.freed, len(p.order))
+	for _, gk := range p.order {
+		g := p.groups[gk]
+		enc.Row(g.keyRow)
+		enc.Int(g.n)
+		enc.Bool(g.dead)
+		if !g.dead {
+			for _, acc := range g.accs {
+				saveAcc(enc, acc)
+			}
+		}
+	}
+}
+
+// LoadState implements stateSaver.
+func (p *partialAggOp) LoadState(dec *checkpoint.Decoder) error {
+	p.wm = dec.Time()
+	p.lateDrop = dec.Int()
+	p.freed = dec.Int()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		keyRow := dec.Row()
+		gn := dec.Int()
+		dead := dec.Bool()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		g := &partialGroup{keyRow: keyRow, n: gn, dead: dead}
+		if !dead {
+			g.accs = make([]accumulator, len(p.aggs))
+			for ci, call := range p.aggs {
+				g.accs[ci] = newAccumulator(call)
+				if err := loadAcc(dec, g.accs[ci]); err != nil {
+					return err
+				}
+			}
+		}
+		gk := keyRow.Key()
+		p.groups[gk] = g
+		p.order = append(p.order, gk)
+	}
+	return dec.Err()
+}
+
+// SaveState implements stateSaver for the serial-tail half of a two-stage
+// aggregate: per group, the latest state snapshot received from each
+// partition plus the merged output row.
+func (f *finalAggOp) SaveState(enc *checkpoint.Encoder) {
+	saveAggCommon(enc, f.wm, f.lateDrop, f.freed, len(f.order))
+	for _, gk := range f.order {
+		g := f.groups[gk]
+		enc.Row(g.keyRow)
+		enc.Bool(g.dead)
+		enc.Row(g.outRow)
+		if !g.dead {
+			for _, snap := range g.snaps {
+				enc.Row(snap)
+			}
+		}
+	}
+}
+
+// LoadState implements stateSaver.
+func (f *finalAggOp) LoadState(dec *checkpoint.Decoder) error {
+	f.wm = dec.Time()
+	f.lateDrop = dec.Int()
+	f.freed = dec.Int()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// A global final aggregate's Open already created its one group;
+	// restore replaces it.
+	f.groups = make(map[string]*finalGroup, checkpoint.CapHint(uint64(n)))
+	f.order = f.order[:0]
+	for i := 0; i < n; i++ {
+		keyRow := dec.Row()
+		dead := dec.Bool()
+		outRow := dec.Row()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		g := &finalGroup{keyRow: keyRow, dead: dead, outRow: outRow}
+		if !dead {
+			g.snaps = make([]types.Row, f.parts)
+			for pi := range g.snaps {
+				g.snaps[pi] = dec.Row()
+			}
+		}
+		gk := keyRow.Key()
+		f.groups[gk] = g
+		f.order = append(f.order, gk)
+	}
+	return dec.Err()
+}
+
+// ---- EMIT materialization states ----
+
+// SaveState implements stateSaver: per event-time group, the buffered
+// relation awaiting watermark completion.
+func (e *emitAfterWatermarkOp) SaveState(enc *checkpoint.Encoder) {
+	enc.Time(e.wm)
+	enc.Int(e.late)
+	enc.Int(e.freed)
+	enc.Uvarint(uint64(len(e.order)))
+	for _, k := range e.order {
+		g := e.groups[k]
+		enc.Row(g.sample)
+		enc.Bool(g.done)
+		if !g.done {
+			g.rel.SaveState(enc)
+		}
+	}
+}
+
+// LoadState implements stateSaver.
+func (e *emitAfterWatermarkOp) LoadState(dec *checkpoint.Decoder) error {
+	e.wm = dec.Time()
+	e.late = dec.Int()
+	e.freed = dec.Int()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		sample := dec.Row()
+		done := dec.Bool()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		g := &wmGroup{sample: sample, done: done}
+		if !done {
+			g.rel = tvr.NewRelation()
+			if err := g.rel.LoadState(dec); err != nil {
+				return err
+			}
+		}
+		k := e.keys.keyOf(sample)
+		e.groups[k] = g
+		e.order = append(e.order, k)
+	}
+	return dec.Err()
+}
+
+// SaveState implements stateSaver: per group the last-materialized and live
+// relations, plus the pending processing-time timer queue. The heap slice is
+// serialized in its array order (a valid heap round-trips as a valid heap);
+// timers reference their group by its event-time key.
+func (e *emitAfterDelayOp) SaveState(enc *checkpoint.Encoder) {
+	enc.Time(e.wm)
+	enc.Int(e.late)
+	enc.Int(e.freed)
+	enc.Int(e.seq)
+	enc.Uvarint(uint64(len(e.order)))
+	for _, k := range e.order {
+		g := e.groups[k]
+		enc.Row(g.sample)
+		enc.Bool(g.armed)
+		enc.Bool(g.done)
+		if !g.done {
+			g.lastMat.SaveState(enc)
+			g.cur.SaveState(enc)
+		}
+	}
+	enc.Uvarint(uint64(len(e.timers)))
+	for _, t := range e.timers {
+		enc.Time(t.deadline)
+		enc.Int(t.seq)
+		enc.String(t.group.key)
+	}
+}
+
+// LoadState implements stateSaver.
+func (e *emitAfterDelayOp) LoadState(dec *checkpoint.Decoder) error {
+	e.wm = dec.Time()
+	e.late = dec.Int()
+	e.freed = dec.Int()
+	e.seq = dec.Int()
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		sample := dec.Row()
+		armed := dec.Bool()
+		done := dec.Bool()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		k := e.keys.keyOf(sample)
+		g := &delayGroup{key: k, sample: sample, armed: armed, done: done}
+		if !done {
+			g.lastMat = tvr.NewRelation()
+			if err := g.lastMat.LoadState(dec); err != nil {
+				return err
+			}
+			g.cur = tvr.NewRelation()
+			if err := g.cur.LoadState(dec); err != nil {
+				return err
+			}
+		}
+		e.groups[k] = g
+		e.order = append(e.order, k)
+	}
+	nt := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < nt; i++ {
+		deadline := dec.Time()
+		seq := dec.Int()
+		gk := dec.String()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		g, ok := e.groups[gk]
+		if !ok {
+			return fmt.Errorf("exec: checkpoint timer references unknown group")
+		}
+		e.timers = append(e.timers, timer{deadline: deadline, seq: seq, group: g})
+	}
+	return dec.Err()
+}

@@ -1,0 +1,184 @@
+package exec_test
+
+// Golden-file tests pinning the checkpoint byte format. Each case drives a
+// fixed query over a fixed tiny input, checkpoints the pipeline, and
+// compares the encoded bytes against a committed golden file: an accidental
+// change to the wire format (or to the deterministic serialization order)
+// fails loudly here instead of silently orphaning production checkpoints.
+//
+// Deliberate format changes must bump checkpoint.FormatVersion and
+// regenerate the files with UPDATE_GOLDEN=1:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/exec -run TestCheckpointGolden
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/tvr"
+	"repro/internal/types"
+)
+
+// goldenEngine registers a tiny two-stream catalog with a fixed changelog —
+// no generators, so the bytes cannot drift with unrelated code.
+func goldenEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e := core.NewEngine(core.WithUnboundedGroupBy())
+	sch := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt64},
+		types.Column{Name: "v", Kind: types.KindInt64},
+		types.Column{Name: "t", Kind: types.KindTimestamp, EventTime: true},
+	)
+	if err := e.RegisterStream("S", sch); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterStream("R", sch.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	row := func(k, v int64, at types.Time) types.Row {
+		return types.Row{types.NewInt(k), types.NewInt(v), types.NewTimestamp(at)}
+	}
+	if err := e.AppendLog("S", tvr.Changelog{
+		tvr.InsertEvent(1000, row(1, 10, 1000)),
+		tvr.InsertEvent(2000, row(2, 25, 2000)),
+		tvr.InsertEvent(3000, row(1, 40, 11000)),
+		tvr.DeleteEvent(4000, row(1, 10, 1000)),
+		tvr.InsertEvent(5000, row(3, 7, 26000)),
+		tvr.WatermarkEvent(6000, 9000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AppendLog("R", tvr.Changelog{
+		tvr.InsertEvent(1500, row(1, 100, 1500)),
+		tvr.InsertEvent(2500, row(2, 200, 2500)),
+		tvr.WatermarkEvent(6500, 8000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// goldenCases is one query per stateful operator family.
+func goldenCases() []struct{ name, sql string } {
+	return []struct{ name, sql string }{
+		{"scan_filter", `SELECT k, v FROM S WHERE v > 8`},
+		{"distinct", `SELECT DISTINCT k FROM S`},
+		{"agg_accumulators", `SELECT k, COUNT(*) c, SUM(v) s, AVG(v) a, MIN(v) mn, MAX(v) mx, COUNT(DISTINCT v) dc FROM S GROUP BY k`},
+		{"join", `SELECT a.k, a.v, b.v FROM S a JOIN R b ON a.k = b.k`},
+		{"union_all", `SELECT k FROM S UNION ALL SELECT k FROM R`},
+		{"intersect", `SELECT k FROM S INTERSECT SELECT k FROM R`},
+		{"tumble_emit_wm", `
+SELECT TB.wstart wstart, TB.wend wend, MAX(TB.v) mx
+FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(t), dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.wstart, TB.wend
+EMIT STREAM AFTER WATERMARK`},
+		{"tumble_emit_delay", `
+SELECT TB.wstart wstart, TB.wend wend, COUNT(*) c
+FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(t), dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.wstart, TB.wend
+EMIT AFTER DELAY INTERVAL '7' SECONDS`},
+		{"session_window", `
+SELECT TB.wstart wstart, TB.wend wend, COUNT(*) c
+FROM Session(data => TABLE(S), timecol => DESCRIPTOR(t), gap => INTERVAL '8' SECONDS) TB
+GROUP BY TB.wstart, TB.wend`},
+	}
+}
+
+// goldenBytes produces the canonical checkpoint for one case.
+func goldenBytes(t *testing.T, e *core.Engine, sql string, parts int) []byte {
+	t.Helper()
+	pq := planSQL(t, e, sql)
+	sources := execSourcesFor(t, e, pq.Root)
+	d := compileDriver(t, pq, parts)
+	if pp, ok := d.(*exec.PartitionedPipeline); ok {
+		defer pp.Abandon()
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Feed(sources); err != nil {
+		t.Fatal(err)
+	}
+	d.Drain()
+	var buf bytes.Buffer
+	var err error
+	switch x := d.(type) {
+	case *exec.Pipeline:
+		err = x.Checkpoint(&buf)
+	case *exec.PartitionedPipeline:
+		err = x.Checkpoint(&buf)
+	}
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// hexDump renders bytes as fixed-width hex lines (stable, diffable).
+func hexDump(data []byte) string {
+	var sb bytes.Buffer
+	for i := 0; i < len(data); i += 32 {
+		end := i + 32
+		if end > len(data) {
+			end = len(data)
+		}
+		fmt.Fprintf(&sb, "%s\n", hex.EncodeToString(data[i:end]))
+	}
+	return sb.String()
+}
+
+func checkGolden(t *testing.T, name string, data []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	got := hexDump(data)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with UPDATE_GOLDEN=1): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("checkpoint bytes for %s changed.\nIf the format change is intentional, bump checkpoint.FormatVersion and regenerate with UPDATE_GOLDEN=1.\ngot %d bytes, want %d bytes", name, len(data), len(want))
+	}
+}
+
+// TestCheckpointGolden pins the serial checkpoint encoding per operator
+// family, plus one partitioned two-stage pipeline (ports + chains framing).
+func TestCheckpointGolden(t *testing.T) {
+	e := goldenEngine(t)
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			checkGolden(t, c.name, goldenBytes(t, e, c.sql, 1))
+		})
+	}
+	t.Run("partitioned_two_stage", func(t *testing.T) {
+		sql := `
+SELECT TB.wstart wstart, TB.wend wend, COUNT(*) c, SUM(TB.v) s
+FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(t), dur => INTERVAL '10' SECONDS) TB
+GROUP BY TB.wstart, TB.wend`
+		checkGolden(t, "partitioned_two_stage", goldenBytes(t, e, sql, 2))
+	})
+	// Restorability: every golden file must still load into a freshly
+	// compiled pipeline (the format is not just stable but live).
+	for _, c := range goldenCases() {
+		pq := planSQL(t, e, c.sql)
+		data := goldenBytes(t, e, c.sql, 1)
+		if _, err := exec.CompileFromCheckpoint(pq, bytes.NewReader(data)); err != nil {
+			t.Errorf("%s: golden checkpoint no longer restores: %v", c.name, err)
+		}
+	}
+}

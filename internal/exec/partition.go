@@ -452,6 +452,15 @@ func (pp *PartitionedPipeline) Start() error {
 			return fmt.Errorf("exec: internal: partitioned chain emitted at open time")
 		}
 	}
+	pp.launchWorkers()
+	return nil
+}
+
+// launchWorkers starts the persistent per-partition worker goroutines. It is
+// the half of Start shared with checkpoint restore, which must skip the
+// operator Open pass (open-time emissions already happened before the
+// checkpoint was taken).
+func (pp *PartitionedPipeline) launchWorkers() {
 	pp.workers = make([]*partWorker, pp.parts)
 	pp.spareInbox = make([][]delivery, pp.parts)
 	pp.spareBuf = make([][]taggedEvent, pp.parts)
@@ -460,7 +469,16 @@ func (pp *PartitionedPipeline) Start() error {
 		pp.workers[p] = w
 		go pp.chains[p].work(w)
 	}
-	return nil
+}
+
+// Abandon releases the pipeline's worker goroutines without completing its
+// input; operator state is left as-is and no further calls are accepted. It
+// exists for the checkpoint workflow: a pipeline that has just been
+// checkpointed can be discarded in favor of a restored copy (equivalence
+// tests do exactly that) without leaking its workers.
+func (pp *PartitionedPipeline) Abandon() {
+	pp.closed = true
+	pp.stopWorkers()
 }
 
 // stopWorkers ends the partition worker goroutines. Safe to call repeatedly;

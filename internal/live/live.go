@@ -90,6 +90,14 @@ var ErrSlowConsumer = errors.New("live: subscription dropped: consumer too slow"
 // ErrClosed reports an operation on a canceled or closed subscription.
 var ErrClosed = errors.New("live: subscription closed")
 
+// ErrRetainedOverflow reports a late attach to a shared session whose
+// retained output exceeded its Config.MaxRetainedRows cap: the retention was
+// released to bound memory, so the session can no longer synthesize the
+// snapshot hand-off a late subscriber needs. Existing cursors are unaffected;
+// the caller can open a dedicated (Exclusive) subscription instead, which
+// replays recorded history rather than the retained log.
+var ErrRetainedOverflow = errors.New("live: retained output exceeded the configured cap; late attach unavailable")
+
 // Delta is one incremental result delivery. Exactly one of Stream and Table
 // is populated, matching the subscription's Mode.
 type Delta struct {

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -71,6 +72,16 @@ func (m *Manager) Subscribe(key string, opts CursorOpts, create func() (*Session
 			sub, err := sess.Attach(opts)
 			if err == nil {
 				return sub, nil
+			}
+			if errors.Is(err, ErrRetainedOverflow) {
+				// The resident session is alive but shed its retained
+				// output at the configured cap, so it cannot hand a
+				// late subscriber the snapshot. Surfacing the error
+				// (rather than silently compiling a shadow pipeline
+				// for the same plan) keeps both memory and pipeline
+				// count bounded; the caller can subscribe Exclusive,
+				// which replays recorded history instead.
+				return nil, err
 			}
 			// The resident session died concurrently (its last cursor
 			// departed between our lookup and the attach); fall

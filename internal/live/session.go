@@ -26,6 +26,14 @@ type Config struct {
 	// Sources are the relation names the plan scans (the session only
 	// accepts events for these).
 	Sources []string
+	// MaxRetainedRows bounds the late-attach retention: the output-changelog
+	// rows a Stream-mode session keeps (or the distinct rows a Table-mode
+	// accumulator tracks) so late subscribers can receive a snapshot
+	// hand-off. 0 means unbounded. On overflow the retained state is
+	// released — memory stays bounded — and subsequent Attach calls fail
+	// with ErrRetainedOverflow instead of handing off an incomplete
+	// snapshot.
+	MaxRetainedRows int
 }
 
 // Session is the engine-facing half of a standing query: it owns a started
@@ -68,9 +76,10 @@ type Session struct {
 	// a consolidated accumulator bounded by distinct rows. Both are
 	// dropped on sessions that can never see a late attach (see
 	// DropRetainedOutput).
-	outLog    tvr.Changelog
-	tableSnap *tableAcc
-	noRetain  bool
+	outLog     tvr.Changelog
+	tableSnap  *tableAcc
+	noRetain   bool
+	overflowed bool // retention exceeded cfg.MaxRetainedRows and was released
 
 	// Observability state lives outside s.mu so Stats and Err stay
 	// responsive while a Block-policy delivery is parked on a full
@@ -163,6 +172,16 @@ func (s *Session) DropRetainedOutput() {
 	s.tableSnap = nil
 }
 
+// releaseRetainedLocked drops the late-attach retention after it outgrew the
+// configured cap: memory stays bounded by the cap, and Attach degrades to
+// ErrRetainedOverflow instead of handing off an incomplete snapshot.
+// Existing cursors are untouched — their deltas were already delivered.
+func (s *Session) releaseRetainedLocked() {
+	s.overflowed = true
+	s.outLog = nil
+	s.tableSnap = nil
+}
+
 // Attach adds a subscriber cursor and returns its consumer-facing handle.
 // When the pipeline has already produced output, the cursor's first delta is
 // a snapshot hand-off synthesized from the retained output changelog: in
@@ -181,6 +200,9 @@ func (s *Session) Attach(opts CursorOpts) (*Subscription, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, s.terminalErr()
+	}
+	if s.overflowed {
+		return nil, fmt.Errorf("live: session %q: %w", s.cfg.Name, ErrRetainedOverflow)
 	}
 	if s.noRetain {
 		return nil, fmt.Errorf("live: session %q does not retain output for late attach", s.cfg.Name)
@@ -323,13 +345,19 @@ func (s *Session) renderLocked() *Delta {
 		return nil
 	}
 	s.produced = true
-	if !s.noRetain {
+	if !s.noRetain && !s.overflowed {
 		if s.cfg.Mode == Table {
 			for _, ev := range out {
 				s.tableSnap.apply(ev)
 			}
+			if s.cfg.MaxRetainedRows > 0 && len(s.tableSnap.order) > s.cfg.MaxRetainedRows {
+				s.releaseRetainedLocked()
+			}
 		} else {
 			s.outLog = append(s.outLog, out...)
+			if s.cfg.MaxRetainedRows > 0 && len(s.outLog) > s.cfg.MaxRetainedRows {
+				s.releaseRetainedLocked()
+			}
 		}
 	}
 	d := Delta{Watermark: wm}

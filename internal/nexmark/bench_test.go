@@ -187,6 +187,7 @@ func TestNexmarkBench(t *testing.T) {
 		// the gate's serial fallback exactly as at full scale.
 		events, runs = 12000, 1
 	}
+	events = benchEventCount(events)
 	g := Generate(GeneratorConfig{Seed: 7, NumEvents: events, MaxOutOfOrderness: 2 * types.Second})
 	rec := bench.New("nexmark", testing.Short() || raceEnabled)
 

@@ -1,0 +1,33 @@
+package nexmark
+
+// Environment overrides for the benchmark harnesses, wired through the
+// Makefile's bench-* targets:
+//
+//	BENCH_COUNT=60000   pin the exact event count
+//	BENCH_SCALE=0.25    multiply each harness's built-in default
+//
+// BENCH_COUNT wins when both are set. Invalid or non-positive values are
+// ignored, so a stray variable cannot silently zero a benchmark.
+
+import (
+	"os"
+	"strconv"
+)
+
+// benchEventCount resolves the event count for a benchmark whose built-in
+// default (full-scale or short-mode) is def.
+func benchEventCount(def int) int {
+	if v := os.Getenv("BENCH_COUNT"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	if v := os.Getenv("BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			if n := int(float64(def) * f); n > 0 {
+				return n
+			}
+		}
+	}
+	return def
+}

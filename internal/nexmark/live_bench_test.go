@@ -221,6 +221,7 @@ func TestLiveBench(t *testing.T) {
 	if testing.Short() || raceEnabled {
 		n = 4000
 	}
+	n = benchEventCount(n)
 	g := Generate(GeneratorConfig{Seed: 42, NumEvents: n, MaxOutOfOrderness: 2 * types.Second})
 	rec := bench.NewLive("nexmark-live", testing.Short() || raceEnabled)
 	logRes := func(res bench.LiveResult) {
@@ -258,6 +259,11 @@ func TestLiveBench(t *testing.T) {
 	out := "../../BENCH_live.json"
 	if rec.ShortMode {
 		out = "../../BENCH_live_short.json"
+	}
+	// Preserve the recovery rows TestRecoveryBench merged into the file;
+	// the two benchmarks own disjoint sections of the record.
+	if prev, err := bench.LoadLive(out); err == nil && prev != nil {
+		rec.Recovery = prev.Recovery
 	}
 	if err := rec.WriteFile(out); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,187 @@
+package tvr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+)
+
+// This file implements checkpoint encoding for the tvr containers: events and
+// changelogs, instantaneous relations, and the incremental stream renderer.
+// Everything encodes deterministically (map-backed state is written in its
+// explicit iteration order, or sorted by key where no order is tracked) so
+// that checkpointing the same state twice yields identical bytes — the
+// property the golden-file format tests pin down.
+
+// event kind wire tags — independent of the in-memory EventKind values so the
+// enum can be reordered without breaking old checkpoints.
+const (
+	evTagInsert    byte = 'I'
+	evTagDelete    byte = 'D'
+	evTagWatermark byte = 'W'
+	evTagHeartbeat byte = 'H'
+)
+
+// SaveEvent writes one changelog event.
+func SaveEvent(enc *checkpoint.Encoder, ev Event) {
+	switch ev.Kind {
+	case Insert:
+		enc.String(string(evTagInsert))
+	case Delete:
+		enc.String(string(evTagDelete))
+	case Watermark:
+		enc.String(string(evTagWatermark))
+	default:
+		enc.String(string(evTagHeartbeat))
+	}
+	enc.Time(ev.Ptime)
+	switch ev.Kind {
+	case Insert, Delete:
+		enc.Row(ev.Row)
+	case Watermark:
+		enc.Time(ev.Wm)
+	}
+}
+
+// LoadEvent reads one changelog event.
+func LoadEvent(dec *checkpoint.Decoder) (Event, error) {
+	tag := dec.String()
+	if err := dec.Err(); err != nil {
+		return Event{}, err
+	}
+	ev := Event{Ptime: dec.Time()}
+	switch tag {
+	case string(evTagInsert):
+		ev.Kind = Insert
+		ev.Row = dec.Row()
+	case string(evTagDelete):
+		ev.Kind = Delete
+		ev.Row = dec.Row()
+	case string(evTagWatermark):
+		ev.Kind = Watermark
+		ev.Wm = dec.Time()
+	case string(evTagHeartbeat):
+		ev.Kind = Heartbeat
+	default:
+		return Event{}, fmt.Errorf("tvr: unknown event tag %q in checkpoint", tag)
+	}
+	return ev, dec.Err()
+}
+
+// SaveChangelog writes a length-prefixed changelog.
+func SaveChangelog(enc *checkpoint.Encoder, c Changelog) {
+	enc.Uvarint(uint64(len(c)))
+	for _, ev := range c {
+		SaveEvent(enc, ev)
+	}
+}
+
+// LoadChangelog reads a changelog written by SaveChangelog.
+func LoadChangelog(dec *checkpoint.Decoder) (Changelog, error) {
+	n := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	var out Changelog
+	if n > 0 {
+		out = make(Changelog, 0, checkpoint.CapHint(n))
+	}
+	for i := uint64(0); i < n; i++ {
+		ev, err := LoadEvent(dec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// SaveState writes the relation's bag contents in iteration order. Entries
+// whose multiplicity dropped to zero are omitted: re-inserting a row after it
+// left the bag places it at the back of the iteration order either way, so
+// the restored relation iterates identically to the live one.
+func (r *Relation) SaveState(enc *checkpoint.Encoder) {
+	enc.Section("tvr.Relation")
+	live := 0
+	for _, k := range r.order {
+		if r.entries[k].count > 0 {
+			live++
+		}
+	}
+	enc.Uvarint(uint64(live))
+	for _, k := range r.order {
+		e := r.entries[k]
+		if e.count == 0 {
+			continue
+		}
+		enc.Row(e.row)
+		enc.Uvarint(uint64(e.count))
+	}
+}
+
+// LoadState rebuilds the relation from a SaveState stream. The receiver must
+// be empty.
+func (r *Relation) LoadState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("tvr.Relation"); err != nil {
+		return err
+	}
+	n := dec.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		row := dec.Row()
+		count := int(dec.Uvarint())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if row == nil || count <= 0 {
+			return fmt.Errorf("tvr: corrupt relation entry in checkpoint")
+		}
+		k := row.Key()
+		r.entries[k] = &entry{row: row, count: count}
+		r.order = append(r.order, k)
+		r.size += count
+	}
+	return dec.Err()
+}
+
+// SaveState writes the renderer's per-group version counters, sorted by
+// group key for deterministic bytes (the map tracks no insertion order, and
+// lookup order does not affect behavior).
+func (sr *StreamRenderer) SaveState(enc *checkpoint.Encoder) {
+	enc.Section("tvr.StreamRenderer")
+	keys := make([]string, 0, len(sr.vers))
+	for k := range sr.vers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		enc.String(k)
+		enc.Int(sr.vers[k])
+	}
+}
+
+// LoadState rebuilds the version counters from a SaveState stream.
+func (sr *StreamRenderer) LoadState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("tvr.StreamRenderer"); err != nil {
+		return err
+	}
+	n := dec.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		k := dec.String()
+		sr.vers[k] = dec.Int()
+	}
+	return dec.Err()
+}
+
+// SortedKeys returns the keys of a string-keyed map in sorted order — the
+// deterministic-serialization helper shared by operators whose map-backed
+// state tracks no insertion order.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,58 @@
+package watermark
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// Checkpoint encoding for the watermark trackers: a restored pipeline's
+// per-port merge state must resume exactly where the old one stopped, or the
+// first post-restore watermark would re-advance (or fail to advance) the
+// merged output differently than the uninterrupted run.
+
+// SaveState writes the tracker's current watermark.
+func (t *Tracker) SaveState(enc *checkpoint.Encoder) {
+	enc.Section("watermark.Tracker")
+	enc.Bool(t.set)
+	enc.Time(t.current)
+}
+
+// LoadState restores the tracker.
+func (t *Tracker) LoadState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("watermark.Tracker"); err != nil {
+		return err
+	}
+	t.set = dec.Bool()
+	t.current = dec.Time()
+	return dec.Err()
+}
+
+// SaveState writes the merger's per-input watermarks and merged output.
+func (m *MinMerger) SaveState(enc *checkpoint.Encoder) {
+	enc.Section("watermark.MinMerger")
+	enc.Uvarint(uint64(len(m.inputs)))
+	for _, wm := range m.inputs {
+		enc.Time(wm)
+	}
+	m.out.SaveState(enc)
+}
+
+// LoadState restores the merger. The receiver must have been created with
+// the same input count the checkpoint was taken with.
+func (m *MinMerger) LoadState(dec *checkpoint.Decoder) error {
+	if err := dec.Expect("watermark.MinMerger"); err != nil {
+		return err
+	}
+	n := int(dec.Uvarint())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(m.inputs) {
+		return fmt.Errorf("watermark: checkpoint has %d merge inputs, pipeline expects %d", n, len(m.inputs))
+	}
+	for i := range m.inputs {
+		m.inputs[i] = dec.Time()
+	}
+	return m.out.LoadState(dec)
+}
