@@ -158,13 +158,17 @@ func diffLive(w *os.File, oldRec, newRec *record) {
 	}
 }
 
-// recoveryKey identifies a checkpoint/restore scenario across records.
+// recoveryKey identifies a checkpoint/restore (or steady-state durability)
+// scenario across records. Durability rows repeat one query at several
+// history sizes, so the event count joins the key.
 func recoveryKey(q bench.RecoveryResult) string {
-	return fmt.Sprintf("%s/%s/p%d", q.Query, q.Mode, q.Partitions)
+	return fmt.Sprintf("%s/%s/p%d/e%d", q.Query, q.Mode, q.Partitions, q.Events)
 }
 
 // diffRecovery prints the checkpoint-size and restore-vs-replay deltas from
-// the Recovery section of live records (`make bench-recovery`).
+// the Recovery section of live records (`make bench-recovery`), then the
+// steady-state durability rows (fixed WAL delta vs full snapshot, keyed by
+// history size) when either record carries them.
 func diffRecovery(w *os.File, oldRec, newRec *record) {
 	byKey := make(map[string]bench.RecoveryResult, len(oldRec.Recovery))
 	for _, q := range oldRec.Recovery {
@@ -173,6 +177,9 @@ func diffRecovery(w *os.File, oldRec, newRec *record) {
 	fmt.Fprintf(w, "\n%-40s %3s %10s %10s %10s %9s %9s %8s\n",
 		"recovery", "p", "ckpt KiB", "restore", "replay", "speedup", "baseline", "delta")
 	for _, nq := range newRec.Recovery {
+		if nq.DeltaEvents > 0 {
+			continue // durability rows get their own table below
+		}
 		line := fmt.Sprintf("%-40.40s %3d %10.1f %10s %10s %8.2fx",
 			nq.Query, nq.Partitions, float64(nq.CheckpointBytes)/1024,
 			time.Duration(nq.RestoreNs), time.Duration(nq.ReplayNs), nq.Speedup)
@@ -185,9 +192,57 @@ func diffRecovery(w *os.File, oldRec, newRec *record) {
 		fmt.Fprintf(w, "%s %8.2fx %+7.1f%%\n", line, oq.Speedup, pct(nq.Speedup, oq.Speedup))
 	}
 	for _, oq := range oldRec.Recovery {
+		if oq.DeltaEvents > 0 {
+			continue
+		}
 		if _, gone := byKey[recoveryKey(oq)]; gone {
 			fmt.Fprintf(w, "%-40.40s %3d %10s %10s %10s %9s (removed, was %.2fx)\n",
 				oq.Query, oq.Partitions, "-", "-", "-", "-", oq.Speedup)
+		}
+	}
+	diffDurability(w, oldRec, newRec, byKey)
+}
+
+// diffDurability prints the steady-state durability rows: the WAL bytes and
+// fsyncs one fixed delta cost at each history size, next to the full-snapshot
+// alternative. The baseline comparison tracks the WAL interval bytes — the
+// number that must stay flat as history grows.
+func diffDurability(w *os.File, oldRec, newRec *record, byKey map[string]bench.RecoveryResult) {
+	any := false
+	for _, q := range newRec.Recovery {
+		any = any || q.DeltaEvents > 0
+	}
+	for _, q := range oldRec.Recovery {
+		any = any || q.DeltaEvents > 0
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\n%-40s %9s %7s %9s %6s %10s %9s %8s\n",
+		"durability (per-delta cost)", "history", "delta", "wal KiB", "syncs", "snap KiB", "baseline", "delta")
+	for _, nq := range newRec.Recovery {
+		if nq.DeltaEvents == 0 {
+			continue
+		}
+		line := fmt.Sprintf("%-40.40s %9d %7d %9.1f %6d %10.1f",
+			nq.Query, nq.Events, nq.DeltaEvents, float64(nq.WalIntervalBytes)/1024,
+			nq.WalIntervalSyncs, float64(nq.CheckpointBytes)/1024)
+		oq, ok := byKey[recoveryKey(nq)]
+		if !ok {
+			fmt.Fprintf(w, "%s %9s %8s\n", line, "(new)", "")
+			continue
+		}
+		delete(byKey, recoveryKey(nq))
+		fmt.Fprintf(w, "%s %8.1fK %+7.1f%%\n", line, float64(oq.WalIntervalBytes)/1024,
+			pct(float64(nq.WalIntervalBytes), float64(oq.WalIntervalBytes)))
+	}
+	for _, oq := range oldRec.Recovery {
+		if oq.DeltaEvents == 0 {
+			continue
+		}
+		if _, gone := byKey[recoveryKey(oq)]; gone {
+			fmt.Fprintf(w, "%-40.40s %9d %7d %9s %6s %10s (removed, was %.1f KiB)\n",
+				oq.Query, oq.Events, oq.DeltaEvents, "-", "-", "-", float64(oq.WalIntervalBytes)/1024)
 		}
 	}
 }

@@ -4,15 +4,26 @@
 // deltas back over chunked ndjson responses — no recompilation or history
 // rescan per request.
 //
-// With -data-dir the process is durable: the engine (catalog, recorded
-// changelogs, and every shareable resident standing-query pipeline) is
-// checkpointed periodically and on SIGINT/SIGTERM with a crash-safe atomic
-// file swap, and a restart restores it from the last checkpoint — restored
-// pipelines resume exactly where they stopped, so reconnecting subscribers
-// attach to them (snapshot hand-off included) without any history rescan.
-// Changes ingested after the last completed checkpoint are rewound with the
-// rest of the engine: catalog and pipelines always restore to one consistent
-// commit point.
+// With -data-dir the process is durable, snapshot + write-ahead-log style:
+// every committed change (ingested batches, heartbeats, registrations) is
+// appended to a segmented CRC-framed WAL under <data-dir>/wal before it is
+// acknowledged, and the engine (catalog, recorded changelogs, and every
+// shareable resident standing-query pipeline) is additionally snapshotted
+// periodically and on SIGINT/SIGTERM with a crash-safe atomic file swap.
+// Recovery on restart stitches the two: load the last snapshot, then
+// re-publish the WAL tail through the normal commit path — so a kill -9
+// loses nothing that was acknowledged (under the default -wal-sync=always),
+// not just nothing since the last snapshot, and restored pipelines resume
+// exactly where they stopped, with reconnecting subscribers attaching to
+// them (snapshot hand-off included) without any history rescan.
+//
+// Each completed snapshot truncates the WAL segments it covers — snapshots
+// are the log's compaction — so steady-state durability cost is the fsynced
+// delta per interval plus an occasional snapshot, not a rewrite of the full
+// history per interval. -wal-sync picks the fsync policy: "always" (fsync
+// per committed batch, the default), "none" (OS-paced writeback), or a
+// duration like "250ms" (background interval fsync; a crash can lose at
+// most that window).
 //
 // Demo session (with -nexmark preloading the benchmark catalog):
 //
@@ -22,7 +33,7 @@
 //	curl -X POST localhost:8080/v1/relations/Bid/events -d \
 //	  '{"events":[{"kind":"insert","ptime":999999999,"row":[1,7,950,999999999]}]}'
 //	# the subscriber prints the matching delta immediately
-//	curl -X POST localhost:8080/v1/checkpoint   # force a durable checkpoint
+//	curl -X POST localhost:8080/v1/checkpoint   # force a durable snapshot (and WAL truncation)
 package main
 
 import (
@@ -41,38 +52,59 @@ import (
 	"repro/internal/core"
 	"repro/internal/nexmark"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
-// checkpointFileName is the durable engine snapshot inside -data-dir.
-const checkpointFileName = "checkpoint.ckpt"
+// checkpointFileName is the durable engine snapshot inside -data-dir; the
+// write-ahead log lives in the walDirName subdirectory next to it.
+const (
+	checkpointFileName = "checkpoint.ckpt"
+	walDirName         = "wal"
+)
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		preload   = flag.Int("nexmark", 0, "preload the NEXMark catalog with this many generated events (0 = empty engine; ignored when restoring from -data-dir)")
 		seed      = flag.Int64("seed", 42, "generator seed for -nexmark")
-		dataDir   = flag.String("data-dir", "", "directory for durable checkpoints; restart restores the engine and its standing queries from the last checkpoint")
-		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "interval between periodic checkpoints (needs -data-dir; 0 disables the ticker, leaving on-shutdown and POST /v1/checkpoint)")
+		dataDir   = flag.String("data-dir", "", "directory for durable state (snapshot + write-ahead log); restart restores the engine and its standing queries from the last snapshot plus the WAL tail")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "interval between periodic snapshots, each truncating the applied WAL segments (needs -data-dir; 0 disables the ticker, leaving on-shutdown and POST /v1/checkpoint)")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: \"always\" (per committed batch), \"none\", or an interval like \"250ms\" (needs -data-dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery); err != nil {
+	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-// run assembles the engine (restoring from the data dir when a checkpoint
-// exists), serves HTTP until SIGINT/SIGTERM, then shuts down gracefully:
-// final checkpoint first (while the resident pipelines are still alive),
-// then drain the standing-query handlers, then close the listener.
-func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration) error {
-	engine, err := openEngine(preload, seed, dataDir)
+// run assembles the engine (restoring snapshot + WAL tail from the data dir
+// when present), serves HTTP until SIGINT/SIGTERM, then shuts down
+// gracefully: final checkpoint first (while the resident pipelines are
+// still alive), then drain the standing-query handlers, then close the
+// listener.
+func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string) error {
+	engine, walw, restored, err := openEngine(preload, seed, dataDir, walSync)
 	if err != nil {
 		return err
 	}
 	srv := NewServer(engine)
 	if dataDir != "" {
 		srv.EnableCheckpoint(filepath.Join(dataDir, checkpointFileName))
+	}
+	if walw != nil {
+		defer walw.Close()
+		srv.EnableWALTruncation(walw.TruncateThrough)
+	}
+	// A first boot writes its snapshot immediately: from here on, recovery
+	// is always snapshot + WAL tail, never a re-run of the preload flags
+	// (whose values a later restart is not obliged to repeat).
+	if dataDir != "" && !restored {
+		n, err := srv.CheckpointNow()
+		if err != nil {
+			return fmt.Errorf("initial checkpoint: %w", err)
+		}
+		log.Printf("serve: initial checkpoint written (%d bytes)", n)
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
@@ -156,32 +188,97 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 	return nil
 }
 
-// openEngine builds the serving engine: restored from the data dir's last
-// checkpoint when one exists, otherwise fresh (optionally preloaded with the
-// NEXMark catalog).
-func openEngine(preload int, seed int64, dataDir string) (*core.Engine, error) {
-	if dataDir != "" {
-		if err := os.MkdirAll(dataDir, 0o755); err != nil {
-			return nil, err
-		}
-		path := filepath.Join(dataDir, checkpointFileName)
-		switch _, statErr := os.Stat(path); {
-		case statErr == nil:
-			engine := core.NewEngine(core.WithUnboundedGroupBy())
-			if err := engine.RestoreFile(path); err != nil {
-				return nil, fmt.Errorf("restoring %s: %w", path, err)
-			}
-			log.Printf("serve: restored engine from %s (%d standing queries resume without history replay)",
-				path, engine.LiveSessions())
-			return engine, nil
-		case !os.IsNotExist(statErr):
-			// Only a definitively-absent checkpoint may start fresh: a
-			// transient stat failure must not boot an empty engine whose
-			// next periodic checkpoint would overwrite the durable one.
-			return nil, fmt.Errorf("checking %s: %w", path, statErr)
-		}
+// openEngine builds the serving engine. Without a data dir it is simply
+// fresh (optionally preloaded with the NEXMark catalog). With one, it is
+// the full recovery stitch: sweep crash litter, load the last snapshot if
+// present, re-publish the WAL tail through the normal commit path, then
+// open the log for appending and attach it so every further commit is
+// logged. The returned restored flag reports whether a snapshot existed
+// (run writes an initial one otherwise).
+func openEngine(preload int, seed int64, dataDir, walSync string) (*core.Engine, *wal.Writer, bool, error) {
+	if dataDir == "" {
+		engine, err := buildEngine(preload, seed)
+		return engine, nil, false, err
 	}
-	return buildEngine(preload, seed)
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, nil, false, err
+	}
+	if err := sweepStaleCheckpointTemps(dataDir); err != nil {
+		return nil, nil, false, err
+	}
+
+	var engine *core.Engine
+	restored := false
+	path := filepath.Join(dataDir, checkpointFileName)
+	switch _, statErr := os.Stat(path); {
+	case statErr == nil:
+		engine = core.NewEngine(core.WithUnboundedGroupBy())
+		if err := engine.RestoreFile(path); err != nil {
+			return nil, nil, false, fmt.Errorf("restoring %s: %w", path, err)
+		}
+		restored = true
+		log.Printf("serve: restored engine from %s (%d standing queries resume without history replay)",
+			path, engine.LiveSessions())
+	case os.IsNotExist(statErr):
+		var err error
+		if engine, err = buildEngine(preload, seed); err != nil {
+			return nil, nil, false, err
+		}
+	default:
+		// Only a definitively-absent checkpoint may start fresh: a
+		// transient stat failure must not boot an empty engine whose
+		// next periodic checkpoint would overwrite the durable one.
+		return nil, nil, false, fmt.Errorf("checking %s: %w", path, statErr)
+	}
+
+	// Re-publish the WAL tail through the normal commit path: records the
+	// snapshot already covers are skipped by sequence number, the rest
+	// replay exactly as live changes would. A torn tail is the expected
+	// crash signature; anything else fails the boot loudly.
+	walDir := filepath.Join(dataDir, walDirName)
+	info, err := wal.Replay(walDir, engine.ReplayWALRecord)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("replaying %s: %w", walDir, err)
+	}
+	if info.Frames > 0 {
+		log.Printf("serve: replayed WAL tail through seq %d (%d records; engine at seq %d)",
+			info.LastSeq, info.Frames, engine.WALSeq())
+	}
+	if info.Torn != "" {
+		log.Printf("serve: WAL tail was torn by a crash (%s); recovered to the last valid commit", info.Torn)
+	}
+
+	mode, interval, err := wal.ParseSyncPolicy(walSync)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	walw, err := wal.Open(walDir, engine.WALSeq()+1, wal.Options{Mode: mode, Interval: interval})
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("opening %s: %w", walDir, err)
+	}
+	if err := engine.AttachWAL(walw); err != nil {
+		walw.Close()
+		return nil, nil, false, err
+	}
+	return engine, walw, restored, nil
+}
+
+// sweepStaleCheckpointTemps removes checkpoint temp files a previous run's
+// crash mid-WriteFileAtomic left behind. They are never the live snapshot
+// (the atomic swap either renamed the temp away or abandoned it), so
+// without this they accumulate in -data-dir forever.
+func sweepStaleCheckpointTemps(dataDir string) error {
+	stale, err := filepath.Glob(filepath.Join(dataDir, checkpointFileName+".tmp*"))
+	if err != nil {
+		return err
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("sweeping stale checkpoint temp %s: %w", p, err)
+		}
+		log.Printf("serve: removed stale checkpoint temp %s", p)
+	}
+	return nil
 }
 
 // buildEngine creates the engine, optionally preloaded with the NEXMark

@@ -60,6 +60,15 @@ type Server struct {
 		at    time.Time
 		bytes int64
 	}
+	// Consecutive checkpoint failures and the latest failure, surfaced by
+	// /healthz so repeated periodic-checkpoint failures are visible outside
+	// the process log. Reset on the next success.
+	ckptFails   int
+	ckptLastErr error
+
+	// walTrunc, when set, truncates the write-ahead log through a sequence
+	// number after a snapshot covering it is durable.
+	walTrunc func(seq uint64) error
 }
 
 type subEntry struct {
@@ -89,23 +98,42 @@ func NewServer(e *core.Engine) *Server {
 // this is called.
 func (s *Server) EnableCheckpoint(path string) { s.ckptPath = path }
 
+// EnableWALTruncation registers the log-compaction hook: after each
+// successful checkpoint, trunc is called with the WAL sequence number the
+// snapshot covers through, so applied segments are reclaimed.
+func (s *Server) EnableWALTruncation(trunc func(seq uint64) error) { s.walTrunc = trunc }
+
 // CheckpointNow writes one durable checkpoint with the crash-safe atomic
-// swap, returning its size. Safe to call concurrently with serving traffic:
-// the engine snapshot runs under the live manager's ordering lock, and
-// writes are serialized here.
+// swap, returning its size, then truncates the write-ahead log through the
+// snapshot's commit point (snapshots are the log's compaction). Safe to
+// call concurrently with serving traffic: the engine snapshot runs under
+// the live manager's ordering lock, and writes are serialized here.
+// Failures are counted for /healthz; a truncation failure is logged there
+// too but does not fail the call — the snapshot is durable, and an
+// uncompacted log only costs disk until the next snapshot retries.
 func (s *Server) CheckpointNow() (int64, error) {
 	if s.ckptPath == "" {
 		return 0, fmt.Errorf("checkpointing disabled: run with -data-dir")
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	n, err := s.engine.CheckpointFile(s.ckptPath)
+	n, seq, err := s.engine.CheckpointFile(s.ckptPath)
 	if err != nil {
+		s.mu.Lock()
+		s.ckptFails++
+		s.ckptLastErr = err
+		s.mu.Unlock()
 		return 0, err
+	}
+	var truncErr error
+	if s.walTrunc != nil {
+		truncErr = s.walTrunc(seq)
 	}
 	s.mu.Lock()
 	s.lastCkpt.at = time.Now()
 	s.lastCkpt.bytes = n
+	s.ckptFails = 0
+	s.ckptLastErr = truncErr // usually nil; kept visible without counting as a checkpoint failure
 	s.mu.Unlock()
 	return n, nil
 }
@@ -395,7 +423,12 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.engine.Heartbeat(req.Ptime)
+	if err := s.engine.Heartbeat(req.Ptime); err != nil {
+		// Only a write-ahead-log append can fail here; the heartbeat was
+		// suppressed, so refusing the request keeps ack == durable.
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ptime": req.Ptime})
 }
 
@@ -691,10 +724,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"liveSubscribers": s.engine.LiveSubscribers(),
 		"checkpointing":   s.ckptPath != "",
 	}
+	if s.walTrunc != nil {
+		out["walEnabled"] = true
+		out["walSeq"] = s.engine.WALSeq()
+	}
 	s.mu.Lock()
 	if !s.lastCkpt.at.IsZero() {
 		out["lastCheckpoint"] = s.lastCkpt.at.UTC().Format(time.RFC3339)
 		out["lastCheckpointBytes"] = s.lastCkpt.bytes
+	}
+	out["checkpointFailures"] = s.ckptFails
+	if s.ckptLastErr != nil {
+		out["lastCheckpointError"] = s.ckptLastErr.Error()
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)

@@ -133,6 +133,17 @@ type RecoveryResult struct {
 	Partitions int `json:"partitions"`
 	// Events is the number of source events ingested before the checkpoint.
 	Events int `json:"events"`
+	// DeltaEvents, when non-zero, marks this row as a steady-state
+	// durability measurement: with Events of history already resident, the
+	// next DeltaEvents were committed through the write-ahead log and the
+	// WalInterval* counters record what staying durable for just that
+	// interval cost — versus CheckpointBytes, the price of re-snapshotting
+	// the whole engine at this history size.
+	DeltaEvents int `json:"delta_events,omitempty"`
+	// WalIntervalBytes / WalIntervalSyncs are the bytes fsynced and fsync
+	// calls the WAL spent committing the DeltaEvents interval.
+	WalIntervalBytes int64 `json:"wal_interval_bytes,omitempty"`
+	WalIntervalSyncs int64 `json:"wal_interval_syncs,omitempty"`
 	// CheckpointBytes is the encoded size of the engine checkpoint.
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
 	// CheckpointNs is the median wall-clock time to take the checkpoint.

@@ -437,10 +437,14 @@ func (d *Decoder) Expect(name string) error {
 }
 
 // WriteFileAtomic writes a checkpoint file crash-safely: the stream is
-// produced into a temp file in the same directory, synced, and renamed over
-// path, so a crash mid-write leaves either the old complete checkpoint or
-// the new one — never a torn file. The write callback receives the open
-// Encoder; the trailer is appended after it returns.
+// produced into a temp file in the same directory, synced, renamed over
+// path, and the parent directory is synced, so a crash at any point leaves
+// either the old complete checkpoint or the new one — never a torn file.
+// The directory fsync is what makes the rename itself durable: without it a
+// crash shortly after return can roll the directory entry back to the old
+// file (or to nothing, in a freshly created data dir), silently undoing a
+// checkpoint that was already reported successful. The write callback
+// receives the open Encoder; the trailer is appended after it returns.
 func WriteFileAtomic(path string, write func(*Encoder) error) (int64, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -467,6 +471,17 @@ func WriteFileAtomic(path string, write func(*Encoder) error) (int64, error) {
 		return 0, err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
+		return 0, err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return 0, err
+	}
+	if err := d.Close(); err != nil {
 		return 0, err
 	}
 	return size, nil

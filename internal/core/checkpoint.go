@@ -23,10 +23,22 @@ import (
 // snapshot can never observe a half-routed change.
 
 // saveAll and loadAll are the single definitions of the checkpoint stream's
-// section order (catalog, then manager + sessions); every public entry point
-// delegates here so the writer and both readers cannot drift.
+// section order (WAL position + catalog, then manager + sessions); every
+// public entry point delegates here so the writer and both readers cannot
+// drift.
 func (e *Engine) saveAll(enc *checkpoint.Encoder) error {
-	return e.live.CheckpointAll(enc, e.saveCatalog)
+	return e.saveAllSeq(enc, nil)
+}
+
+// saveAllSeq is saveAll with the snapshot's WAL position reported back to
+// the caller (when seqOut is non-nil): the sequence number the snapshot
+// covers through, captured under the same locks as the state itself, which
+// is exactly how far the write-ahead log may be truncated once the snapshot
+// is durable.
+func (e *Engine) saveAllSeq(enc *checkpoint.Encoder, seqOut *uint64) error {
+	return e.live.CheckpointAll(enc, func(enc *checkpoint.Encoder) error {
+		return e.saveCatalog(enc, seqOut)
+	})
 }
 
 func (e *Engine) loadAll(dec *checkpoint.Decoder) error {
@@ -46,9 +58,18 @@ func (e *Engine) CheckpointAll(w io.Writer) error {
 }
 
 // CheckpointFile writes the engine checkpoint to path with a crash-safe
-// atomic swap (temp file + fsync + rename), returning the encoded size.
-func (e *Engine) CheckpointFile(path string) (int64, error) {
-	return checkpoint.WriteFileAtomic(path, e.saveAll)
+// atomic swap (temp file + fsync + rename + directory fsync), returning the
+// encoded size and the WAL sequence number the snapshot covers through —
+// once this call returns, the log may be truncated through that sequence.
+func (e *Engine) CheckpointFile(path string) (int64, uint64, error) {
+	var seq uint64
+	n, err := checkpoint.WriteFileAtomic(path, func(enc *checkpoint.Encoder) error {
+		return e.saveAllSeq(enc, &seq)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, seq, nil
 }
 
 // RestoreAll rebuilds the engine from a checkpoint stream. The engine must
@@ -70,13 +91,20 @@ func (e *Engine) RestoreFile(path string) error {
 	return checkpoint.ReadFile(path, e.loadAll)
 }
 
-// saveCatalog serializes every registered relation: schema, recorded
-// changelog, and the ptime/watermark monotonicity cursors. Called by the
-// live manager under its ordering lock, so the catalog and the session
-// states describe the same commit point.
-func (e *Engine) saveCatalog(enc *checkpoint.Encoder) error {
+// saveCatalog serializes the engine's WAL position and every registered
+// relation: schema, recorded changelog, and the ptime/watermark
+// monotonicity cursors. Called by the live manager under its ordering lock,
+// so the WAL position, the catalog, and the session states all describe the
+// same commit point — which is what lets restore skip replayed WAL records
+// by sequence number alone.
+func (e *Engine) saveCatalog(enc *checkpoint.Encoder, seqOut *uint64) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	enc.Section("core.wal")
+	enc.Uvarint(e.walSeq)
+	if seqOut != nil {
+		*seqOut = e.walSeq
+	}
 	enc.Section("core.catalog")
 	keys := make([]string, 0, len(e.rels))
 	for k := range e.rels {
@@ -102,6 +130,13 @@ func (e *Engine) loadCatalog(dec *checkpoint.Decoder) error {
 	defer e.mu.Unlock()
 	if len(e.rels) > 0 {
 		return fmt.Errorf("core: RestoreAll needs an empty engine (have %d relations)", len(e.rels))
+	}
+	if err := dec.Expect("core.wal"); err != nil {
+		return err
+	}
+	e.walSeq = dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return err
 	}
 	if err := dec.Expect("core.catalog"); err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/exec"
 	"repro/internal/live"
 	"repro/internal/opt"
@@ -41,6 +42,12 @@ type Engine struct {
 	cfg     plan.Config
 	live    *live.Manager
 	gateMin int // small-input gate override; -1 = exec default
+
+	// wal, when attached, receives every committed change before it is
+	// applied or fanned out; walSeq is the last committed sequence number
+	// (both guarded by mu — see wal.go for the ordering argument).
+	wal    CommitLog
+	walSeq uint64
 }
 
 type relation struct {
@@ -100,6 +107,19 @@ func (e *Engine) register(name string, schema *types.Schema, unbounded bool) err
 	if _, dup := e.rels[key]; dup {
 		return fmt.Errorf("core: relation %q already registered", name)
 	}
+	// Log before mutating: a relation registered after the last snapshot
+	// must reappear on replay, or the WAL tail's publishes to it would have
+	// nowhere to land.
+	err := e.walAppendLocked(func(enc *checkpoint.Encoder) error {
+		enc.String(walRecRegister)
+		enc.String(name)
+		enc.Bool(unbounded)
+		saveSchema(enc, schema)
+		return enc.Err()
+	})
+	if err != nil {
+		return err
+	}
 	e.rels[key] = &relation{
 		meta:      plan.Relation{Name: name, Schema: schema.Clone(), Unbounded: unbounded},
 		lastPtime: types.MinTime,
@@ -141,7 +161,12 @@ func (e *Engine) append(name string, ev tvr.Event) error {
 }
 
 // applyLog validates the whole log against the relation's current cursors,
-// then applies it, all under one catalog lock acquisition.
+// write-ahead-logs it, then applies it, all under one catalog lock
+// acquisition. The order matters twice over: validation first means the WAL
+// only ever records changes that commit (replay cannot trip over a record
+// live ingestion rejected), and logging before applying means a WAL failure
+// leaves the relation untouched and the batch unrouted — the change is
+// refused, not silently volatile.
 func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -156,6 +181,15 @@ func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 		if err != nil {
 			return err
 		}
+	}
+	err := e.walAppendLocked(func(enc *checkpoint.Encoder) error {
+		enc.String(walRecPublish)
+		enc.String(rel.meta.Name)
+		tvr.SaveChangelog(enc, log)
+		return enc.Err()
+	})
+	if err != nil {
+		return err
 	}
 	rel.lastPtime, rel.lastWM = lastPtime, lastWM
 	rel.log = append(rel.log, log...)

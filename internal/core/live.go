@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/exec"
 	"repro/internal/live"
 	"repro/internal/plan"
@@ -184,9 +185,20 @@ func normalizeSQL(sql string) string {
 // pt, firing due EMIT AFTER DELAY timers. The clock is recorded: a
 // subscription opened afterwards starts from it instead of MinTime, so its
 // pending timers fire exactly as an earlier subscriber's did. The catalog
-// is unchanged; one-shot queries are unaffected.
-func (e *Engine) Heartbeat(pt types.Time) {
-	e.live.Advance(pt)
+// is unchanged; one-shot queries are unaffected. With a write-ahead log
+// attached the heartbeat is logged (under the same ordering lock, before
+// any session sees it) — timers it fires must refire identically on
+// replay — and a log failure suppresses the broadcast.
+func (e *Engine) Heartbeat(pt types.Time) error {
+	return e.live.AdvanceWith(pt, func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.walAppendLocked(func(enc *checkpoint.Encoder) error {
+			enc.String(walRecHeartbeat)
+			enc.Time(pt)
+			return enc.Err()
+		})
+	})
 }
 
 // LiveSessions reports the number of resident standing-query pipelines.

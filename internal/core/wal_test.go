@@ -1,0 +1,312 @@
+package core_test
+
+// Engine-level WAL recovery tests: with a write-ahead log attached, a crash
+// at ANY point after a commit is acknowledged — not just at a snapshot
+// boundary — must recover to the exact last-committed state. The recovery
+// path is the real one: restore the last snapshot file, re-publish the WAL
+// tail through the normal commit path, and require the restored engine's
+// standing-query output byte-identical to an uninterrupted run (the same
+// property TestCheckpointRestoreLive pins for snapshot-only recovery).
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tvr"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// walBidEngine builds an empty engine with a WAL attached in dir and then
+// registers the Bid stream THROUGH the log (record 1), so recovery rebuilds
+// the catalog entry from the log rather than assuming it.
+func walBidEngine(t *testing.T, dir string) (*core.Engine, *wal.Writer) {
+	t.Helper()
+	w, err := wal.Open(dir, 1, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine()
+	if err := e.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterStream("Bid", liveBidSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	return e, w
+}
+
+// recoverEngine performs the production recovery stitch: fresh engine,
+// restore the snapshot when one exists, replay the WAL tail.
+func recoverEngine(t *testing.T, ckptPath, walDir string) (*core.Engine, wal.ReplayInfo) {
+	t.Helper()
+	r := core.NewEngine()
+	if ckptPath != "" {
+		if err := r.RestoreFile(ckptPath); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	info, err := wal.Replay(walDir, r.ReplayWALRecord)
+	if err != nil {
+		t.Fatalf("wal replay: %v", err)
+	}
+	return r, info
+}
+
+// TestWALRecoveryLive: ingest a full stream with a snapshot taken at a
+// random split point, crash without any further snapshot, recover from
+// snapshot + WAL tail, and require (a) everything ingested after the
+// snapshot to survive — nothing is rewound — and (b) a late attacher to the
+// recovered resident pipeline to be byte-identical to a dedicated twin and
+// to the uninterrupted replay, serial and partitioned. Odd split indexes
+// truncate the log after the snapshot; even ones crash between snapshot and
+// truncation, so recovery must skip the already-covered records by sequence
+// number.
+func TestWALRecoveryLive(t *testing.T) {
+	g := liveData(t)
+	last := g.Bids[len(g.Bids)-1]
+	finalWM := tvr.WatermarkEvent(last.Ptime+1, last.Ptime+types.Time(1000*types.Second))
+	for _, parts := range []int{1, 4} {
+		parts := parts
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			// Uninterrupted reference: post-hoc replay over the full log.
+			replayEngine := newBidEngine(t)
+			if err := replayEngine.AppendLog("Bid", append(append(tvr.Changelog{}, g.Bids...), finalWM)); err != nil {
+				t.Fatal(err)
+			}
+			var want *core.StreamResult
+			var err error
+			if parts > 1 {
+				want, err = replayEngine.QueryStreamParallel(liveBidQuery, parts)
+			} else {
+				want, err = replayEngine.QueryStream(liveBidQuery)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantStr := tvr.FormatStreamTable(want.Schema, want.Rows)
+
+			rng := rand.New(rand.NewSource(int64(11 * parts)))
+			splits := []int{1, len(g.Bids) / 3, len(g.Bids) / 2, len(g.Bids) - 1}
+			opts := core.SubscribeOptions{Parts: parts, Buffer: len(g.Bids) + 16}
+			exclOpts := opts
+			exclOpts.Exclusive = true
+			for si, split := range splits {
+				dataDir := t.TempDir()
+				walDir := filepath.Join(dataDir, "wal")
+				ckptPath := filepath.Join(dataDir, "checkpoint.ckpt")
+				e, w := walBidEngine(t, dataDir+"/wal")
+
+				early, err := e.SubscribeStream(liveBidQuery, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ingest := func(from, to int) {
+					for i := from; i < to; {
+						end := i + 1 + rng.Intn(8)
+						if end > to {
+							end = to
+						}
+						if err := e.AppendLog("Bid", g.Bids[i:end]); err != nil {
+							t.Fatal(err)
+						}
+						i = end
+					}
+				}
+				ingest(0, split)
+
+				// Snapshot mid-stream; on odd iterations also compact the
+				// log, on even ones "crash" before the truncation runs.
+				_, seq, err := e.CheckpointFile(ckptPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != e.WALSeq() {
+					t.Fatalf("split=%d: snapshot reports seq %d, engine at %d", split, seq, e.WALSeq())
+				}
+				if si%2 == 1 {
+					if err := w.TruncateThrough(seq); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				// Everything after this point exists ONLY in the WAL tail.
+				ingest(split, len(g.Bids))
+				if err := e.Heartbeat(last.Ptime); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.AppendLog("Bid", tvr.Changelog{finalWM}); err != nil {
+					t.Fatal(err)
+				}
+				crashSeq := e.WALSeq()
+				early.Cancel() // the crashed process's subscriber is gone
+
+				// Crash: no Close, no final snapshot. Recover from the
+				// snapshot plus the log tail.
+				r, info := recoverEngine(t, ckptPath, walDir)
+				if info.LastSeq != crashSeq || r.WALSeq() != crashSeq {
+					t.Fatalf("split=%d: recovered through seq %d (log says %d), crashed at %d",
+						split, r.WALSeq(), info.LastSeq, crashSeq)
+				}
+				// Nothing ingested after the snapshot was rewound.
+				log, err := r.Log("Bid")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(log) != len(g.Bids)+1 {
+					t.Fatalf("split=%d: recovered changelog has %d events, want %d — post-snapshot commits were rewound",
+						split, len(log), len(g.Bids)+1)
+				}
+
+				// The snapshot carried the resident pipeline; the WAL tail
+				// caught it up through the normal commit path. A late
+				// attacher must land on it and equal both a dedicated twin
+				// and the uninterrupted replay.
+				if got := r.LiveSessions(); got != 1 {
+					t.Fatalf("split=%d: recovered engine has %d live sessions, want 1", split, got)
+				}
+				late, err := r.SubscribeStream(liveBidQuery, opts)
+				if err != nil {
+					t.Fatalf("split=%d: late attach to recovered session: %v", split, err)
+				}
+				if got := r.LiveSessions(); got != 1 {
+					t.Fatalf("split=%d: late attach created a session (%d live), want to share the recovered one", split, got)
+				}
+				twin, err := r.SubscribeStream(liveBidQuery, exclOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lateFinal, err := late.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				lateRows := collectStream(late, lateFinal)
+				twinFinal, err := twin.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				twinRows := collectStream(twin, twinFinal)
+
+				lateStr := tvr.FormatStreamTable(late.Schema(), lateRows)
+				twinStr := tvr.FormatStreamTable(twin.Schema(), twinRows)
+				if lateStr != twinStr {
+					t.Fatalf("split=%d: late attacher to recovered session differs from dedicated twin:\nlate:\n%s\ntwin:\n%s",
+						split, truncate(lateStr), truncate(twinStr))
+				}
+				if lateStr != wantStr {
+					t.Fatalf("split=%d: recovered output differs from uninterrupted replay:\ngot:\n%s\nwant:\n%s",
+						split, truncate(lateStr), truncate(wantStr))
+				}
+			}
+		})
+	}
+}
+
+// TestWALRecoveryWithoutSnapshot: a crash before the first snapshot ever
+// completes still loses nothing — the log alone carries the registration
+// and every committed batch.
+func TestWALRecoveryWithoutSnapshot(t *testing.T) {
+	g := liveData(t)
+	dir := t.TempDir()
+	e, _ := walBidEngine(t, dir)
+	if err := e.AppendLog("Bid", g.Bids[:300]); err != nil {
+		t.Fatal(err)
+	}
+	crashSeq := e.WALSeq()
+
+	r, info := recoverEngine(t, "", dir)
+	if info.LastSeq != crashSeq {
+		t.Fatalf("replayed through %d, crashed at %d", info.LastSeq, crashSeq)
+	}
+	log, err := r.Log("Bid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 300 {
+		t.Fatalf("recovered %d events, want 300", len(log))
+	}
+	got, err := r.QueryStream(`SELECT auction, price FROM Bid WHERE price > 900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEngine := newBidEngine(t)
+	if err := wantEngine.AppendLog("Bid", g.Bids[:300]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wantEngine.QueryStream(`SELECT auction, price FROM Bid WHERE price > 900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs, ws := tvr.FormatStreamTable(got.Schema, got.Rows), tvr.FormatStreamTable(want.Schema, want.Rows); gs != ws {
+		t.Fatalf("log-only recovery diverges:\ngot:\n%s\nwant:\n%s", truncate(gs), truncate(ws))
+	}
+}
+
+// TestWALRecoveryFreshRelation: a relation registered AFTER the last
+// snapshot (plus its data) is rebuilt from the log's register record.
+func TestWALRecoveryFreshRelation(t *testing.T) {
+	g := liveData(t)
+	dataDir := t.TempDir()
+	walDir := filepath.Join(dataDir, "wal")
+	ckptPath := filepath.Join(dataDir, "checkpoint.ckpt")
+	e, _ := walBidEngine(t, walDir)
+	if err := e.AppendLog("Bid", g.Bids[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.CheckpointFile(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot: a brand-new relation and rows into it.
+	if err := e.RegisterTable("Extra", liveBidSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AppendLog("Extra", g.Bids[100:140]); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _ := recoverEngine(t, ckptPath, walDir)
+	log, err := r.Log("Extra")
+	if err != nil {
+		t.Fatalf("relation registered after the snapshot did not survive: %v", err)
+	}
+	if len(log) != 40 {
+		t.Fatalf("recovered %d Extra events, want 40", len(log))
+	}
+	// And it is a table, not a stream: re-registering must collide.
+	if err := r.RegisterTable("Extra", liveBidSchema(t)); err == nil {
+		t.Fatal("recovered engine re-registered Extra")
+	}
+}
+
+// TestWALReplayRefusedWhenAttached: replaying into an engine already
+// logging would re-log every replayed record; the engine must refuse.
+func TestWALReplayRefusedWhenAttached(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := walBidEngine(t, dir)
+	if err := e.Insert("Bid", 0, bidRow(1, 100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := wal.Replay(dir, e.ReplayWALRecord)
+	if err == nil {
+		t.Fatal("replay into an attached engine succeeded")
+	}
+}
+
+// liveBidSchema returns the Bid schema used by the live helpers.
+func liveBidSchema(t *testing.T) *types.Schema {
+	t.Helper()
+	e := newBidEngine(t)
+	rel, err := e.Resolve("Bid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Schema
+}
+
+// bidRow builds one full-schema Bid row (auction, bidder, price, dateTime).
+func bidRow(auction, price int64, at types.Time) types.Row {
+	return types.Row{types.NewInt(auction), types.NewInt(1), types.NewInt(price), types.NewTimestamp(at)}
+}

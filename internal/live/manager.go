@@ -240,8 +240,23 @@ func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) err
 // standing queries, and records pt so later-registered sessions start from
 // the same clock.
 func (m *Manager) Advance(pt types.Time) {
+	m.AdvanceWith(pt, nil) // never errors with a nil commit
+}
+
+// AdvanceWith is Advance with a commit hook run under the ordering lock
+// before any session sees the heartbeat — the same commit-before-fan-out
+// shape as Publish. The engine uses it to append the heartbeat to its
+// write-ahead log in exactly the global order sessions observe it; a commit
+// failure suppresses the broadcast entirely, so the log never misses a
+// heartbeat that fired a timer.
+func (m *Manager) AdvanceWith(pt types.Time, commit func() error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
+	}
 	if pt > m.lastPt {
 		m.lastPt = pt
 	}
@@ -254,6 +269,7 @@ func (m *Manager) Advance(pt types.Time) {
 			m.removeLocked(id)
 		}
 	}
+	return nil
 }
 
 // Len reports the number of resident pipelines without taking the routing

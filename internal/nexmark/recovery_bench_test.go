@@ -5,7 +5,10 @@ package nexmark
 // engine checkpoint's size and write time, the time to restore a fresh
 // engine (catalog + resident pipeline) from the bytes, and the time the
 // pre-checkpoint recovery path needs — compiling the query and replaying the
-// full recorded history through a new pipeline. Results merge into the
+// full recorded history through a new pipeline. It also measures steady-state
+// durability: the bytes and fsyncs the write-ahead log spends committing a
+// fixed delta, at two history sizes 10x apart, against the cost of a full
+// snapshot at each — the WAL side must stay flat. Results merge into the
 // Recovery section of BENCH_live.json (BENCH_live_short.json for reduced
 // scale) next to the serving benchmark's subscription rows. Run via
 // `make bench-recovery`.
@@ -19,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // measureRecovery builds one loaded engine (subscription + full ingested
@@ -123,6 +127,79 @@ func measureRecovery(t *testing.T, g *Generated, parts, runs int) bench.Recovery
 	}
 }
 
+// measureDurability measures the steady-state cost of staying durable: with
+// `history` events already resident (catalog + standing query), commit the
+// NEXT `delta` events through an fsync-per-batch write-ahead log and count
+// the bytes and fsyncs that took — then price the alternative, a full engine
+// snapshot at this history size. The WAL figure should track the delta; the
+// snapshot figure tracks the whole history, which is exactly why the log
+// exists.
+func measureDurability(t *testing.T, g *Generated, history, delta, batch int) bench.RecoveryResult {
+	t.Helper()
+	e := core.NewEngine()
+	if err := e.RegisterStream("Bid", BidFullSchema()); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := e.SubscribeStream(liveBenchSQL, core.SubscribeOptions{Parts: 1, Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	if err := e.AppendLog("Bid", g.Bids[:history]); err != nil {
+		t.Fatal(err)
+	}
+	// The subscriber is a Block-policy consumer: drain it between batches
+	// or the fan-out parks once the cursor buffer fills.
+	drain := func() {
+		for {
+			select {
+			case <-sub.Deltas():
+			default:
+				return
+			}
+		}
+	}
+	drain()
+
+	w, err := wal.Open(t.TempDir(), e.WALSeq()+1, wal.Options{Mode: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := e.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+
+	before := w.Stats()
+	for i := history; i < history+delta; {
+		end := i + batch
+		if end > history+delta {
+			end = history + delta
+		}
+		if err := e.AppendLog("Bid", g.Bids[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+		i = end
+	}
+	after := w.Stats()
+
+	var ckpt bytes.Buffer
+	if err := e.CheckpointAll(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	return bench.RecoveryResult{
+		Query:            "WAL steady-state durability (delta vs full snapshot)",
+		Mode:             live.Stream.String(),
+		Partitions:       1,
+		Events:           history,
+		DeltaEvents:      delta,
+		WalIntervalBytes: after.SyncedBytes - before.SyncedBytes,
+		WalIntervalSyncs: after.Syncs - before.Syncs,
+		CheckpointBytes:  int64(ckpt.Len()),
+	}
+}
+
 // TestRecoveryBench records checkpoint size and restore-vs-replay latency
 // into the Recovery section of BENCH_live.json / BENCH_live_short.json.
 func TestRecoveryBench(t *testing.T) {
@@ -167,6 +244,47 @@ func TestRecoveryBench(t *testing.T) {
 				res.Partitions, time.Duration(res.RestoreNs), time.Duration(res.ReplayNs))
 		}
 	}
+	// Steady-state durability: fix the per-interval delta and grow the
+	// resident history 10x. The WAL interval cost (bytes fsynced for the
+	// delta) must stay flat while the full-snapshot alternative grows with
+	// the history — durability cost proportional to the delta, not to
+	// everything ever ingested.
+	histBase, deltaN := 30000, 3000
+	if short {
+		histBase, deltaN = 1500, 500
+	}
+	histBase = benchEventCount(histBase)
+	// NumEvents counts the whole person/auction/bid mix; the Bid changelog
+	// gets ~46/50 of it plus watermarks. Overshoot, then require enough.
+	total := 10*histBase + deltaN
+	gd := Generate(GeneratorConfig{Seed: 43, NumEvents: total + total/4, MaxOutOfOrderness: 2 * types.Second})
+	if len(gd.Bids) < total {
+		t.Fatalf("generated only %d Bid events, need %d", len(gd.Bids), total)
+	}
+	var durRows []bench.RecoveryResult
+	for _, hist := range []int{histBase, 10 * histBase} {
+		res := measureDurability(t, gd, hist, deltaN, 100)
+		rec.AddRecovery(res)
+		durRows = append(durRows, res)
+		t.Logf("history=%d delta=%d: wal interval %.1f KiB in %d fsyncs, full snapshot %.1f KiB",
+			res.Events, res.DeltaEvents, float64(res.WalIntervalBytes)/1024,
+			res.WalIntervalSyncs, float64(res.CheckpointBytes)/1024)
+	}
+	// Arms at full scale only, like the restore-vs-replay bar above: the
+	// ratios are scale-dependent and the committed BENCH_live.json records
+	// the real ones.
+	if !short {
+		small, big := durRows[0], durRows[1]
+		if big.WalIntervalBytes > 2*small.WalIntervalBytes {
+			t.Errorf("WAL interval cost grew with history: %d B at %d events vs %d B at %d — not delta-proportional",
+				big.WalIntervalBytes, big.Events, small.WalIntervalBytes, small.Events)
+		}
+		if big.CheckpointBytes < 4*small.CheckpointBytes {
+			t.Errorf("snapshot cost unexpectedly flat (%d B at %d events vs %d B at %d) — the baseline comparison is meaningless",
+				big.CheckpointBytes, big.Events, small.CheckpointBytes, small.Events)
+		}
+	}
+
 	if err := rec.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}

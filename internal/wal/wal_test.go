@@ -1,0 +1,504 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// writeRecords appends records from..to (inclusive) whose payloads are
+// derived from their sequence numbers, so replay can verify content as well
+// as framing.
+func writeRecords(t *testing.T, w *Writer, from, to uint64) {
+	t.Helper()
+	for seq := from; seq <= to; seq++ {
+		err := w.Append(seq, func(enc *checkpoint.Encoder) error {
+			enc.String("rec")
+			enc.Uvarint(seq * 7)
+			return enc.Err()
+		})
+		if err != nil {
+			t.Fatalf("append seq %d: %v", seq, err)
+		}
+	}
+}
+
+// replayAll replays dir, fully decoding every record (verifying the inner
+// trailer) and checking the payload matches the sequence number. It returns
+// the replayed sequence numbers and the ReplayInfo.
+func replayAll(t *testing.T, dir string) ([]uint64, ReplayInfo) {
+	t.Helper()
+	var seqs []uint64
+	info, err := Replay(dir, func(seq uint64, dec *checkpoint.Decoder) error {
+		if got := dec.String(); got != "rec" {
+			return fmt.Errorf("seq %d: payload tag %q", seq, got)
+		}
+		if got := dec.Uvarint(); got != seq*7 {
+			return fmt.Errorf("seq %d: payload value %d, want %d", seq, got, seq*7)
+		}
+		if err := dec.Close(); err != nil {
+			return err
+		}
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return seqs, info
+}
+
+func wantSeqs(t *testing.T, got []uint64, from, to uint64) {
+	t.Helper()
+	want := int(to - from + 1)
+	if from > to {
+		want = 0
+	}
+	if len(got) != want {
+		t.Fatalf("replayed %d records (%v), want %d (%d..%d)", len(got), got, want, from, to)
+	}
+	for i, s := range got {
+		if s != from+uint64(i) {
+			t.Fatalf("replayed seq %d at position %d, want %d", s, i, from+uint64(i))
+		}
+	}
+}
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	return segs[len(segs)-1].path
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 50)
+	st := w.Stats()
+	if st.LastSeq != 50 {
+		t.Fatalf("LastSeq = %d, want 50", st.LastSeq)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("SegmentBytes=256 produced %d segments, expected rotation", st.Segments)
+	}
+	if st.SyncedBytes != st.AppendedBytes {
+		t.Fatalf("SyncAlways left %d of %d bytes unsynced", st.AppendedBytes-st.SyncedBytes, st.AppendedBytes)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, info := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 50)
+	if info.Torn != "" {
+		t.Fatalf("clean log reported torn tail: %q", info.Torn)
+	}
+	if info.LastSeq != 50 || info.Frames != 50 {
+		t.Fatalf("info = %+v, want LastSeq 50 Frames 50", info)
+	}
+
+	// Reopen at the tail and continue appending.
+	w2, err := Open(dir, 51, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w2, 51, 60)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ = replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 60)
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	info, err := Replay(filepath.Join(t.TempDir(), "nope"), func(uint64, *checkpoint.Decoder) error {
+		t.Fatal("callback on empty log")
+		return nil
+	})
+	if err != nil || info.Frames != 0 || info.LastSeq != 0 {
+		t.Fatalf("missing dir: info=%+v err=%v", info, err)
+	}
+}
+
+func TestTruncatedTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash signature: the tail of the last segment never hit the disk.
+	seg := lastSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, info := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 19)
+	if info.Torn == "" {
+		t.Fatal("truncated tail not reported as torn")
+	}
+
+	// Open repairs the tail and appending resumes at the lost record's seq.
+	w2, err := Open(dir, 20, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w2, 20, 25)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, info = replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 25)
+	if info.Torn != "" {
+		t.Fatalf("repaired log still torn: %q", info.Torn)
+	}
+}
+
+func TestTornFrameGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash signature: a partially written frame — plausible length prefix,
+	// garbage where the payload and checksum should be.
+	f, err := os.OpenFile(lastSegment(t, dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{40, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	seqs, info := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 10)
+	if info.Torn == "" {
+		t.Fatal("garbage tail not reported as torn")
+	}
+	if _, err := Open(dir, 11, Options{}); err != nil {
+		t.Fatalf("open after torn frame: %v", err)
+	}
+}
+
+func TestCorruptedFrameInTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte of the final frame: its CRC no longer matches, so
+	// recovery must stop at record 9 rather than apply damaged bytes.
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, info := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 9)
+	if !strings.Contains(info.Torn, "checksum") {
+		t.Fatalf("torn = %q, want checksum mismatch", info.Torn)
+	}
+}
+
+func TestCorruptedSealedSegmentFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 50)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need sealed segments, have %d (err=%v)", len(segs), err)
+	}
+
+	// Bit rot inside a sealed segment is damage to acknowledged history —
+	// silently dropping it would be data loss, so replay must error.
+	first := segs[0].path
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x01
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Replay(dir, func(seq uint64, dec *checkpoint.Decoder) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "sealed") {
+		t.Fatalf("replay of rotted sealed segment: err = %v, want loud sealed-segment error", err)
+	}
+}
+
+func TestTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 60)
+	before := w.Stats().Segments
+
+	// Snapshot through seq 30: every segment wholly at or below 30 goes; a
+	// straddling segment stays (its covered records are skipped by seq).
+	if err := w.TruncateThrough(30); err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats().Segments
+	if after >= before {
+		t.Fatalf("truncate removed nothing (%d -> %d segments)", before, after)
+	}
+	writeRecords(t, w, 61, 70)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, info := replayAll(t, dir)
+	if info.LastSeq != 70 {
+		t.Fatalf("LastSeq = %d, want 70", info.LastSeq)
+	}
+	if len(seqs) == 0 || seqs[0] > 31 {
+		t.Fatalf("first surviving record is %v, truncation overshot seq 30", seqs)
+	}
+	wantSeqs(t, seqs, seqs[0], 70)
+
+	// Truncating through the live tail seals the active segment and removes
+	// it; the next append starts a fresh segment.
+	w2, err := Open(dir, 71, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.TruncateThrough(70); err != nil {
+		t.Fatal(err)
+	}
+	if n := w2.Stats().Segments; n != 0 {
+		t.Fatalf("%d segments survive a truncate through the tail, want 0", n)
+	}
+	writeRecords(t, w2, 71, 75)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ = replayAll(t, dir)
+	wantSeqs(t, seqs, 71, 75)
+}
+
+func TestOpenRefusesUnreplayedTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// An engine that replayed only through 5 must not be allowed to append
+	// (and thereby truncate) past records 6..10.
+	if _, err := Open(dir, 6, Options{}); err == nil || !strings.Contains(err.Error(), "unreplayed") {
+		t.Fatalf("open with unreplayed tail: err = %v, want refusal", err)
+	}
+}
+
+func TestOpenClearsStaleLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash with a lax sync policy can lose an acked WAL suffix that a
+	// (fsynced) snapshot still captured: the snapshot is ahead of the log.
+	// Open must not append seq 15 after record 10 — it clears the stale
+	// segments (all covered by the snapshot) and restarts contiguously.
+	w2, err := Open(dir, 15, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w2, 15, 20)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, 15, 20)
+}
+
+func TestCrashBetweenSnapshotAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 40)
+	// Snapshot at seq 25 was written... and the process died before
+	// TruncateThrough(25) ran (no Close either). The log still holds 1..40;
+	// recovery replays it all, skipping 1..25 by sequence number — exactly
+	// what Replay's seq argument is for.
+	var applied []uint64
+	info, err := Replay(dir, func(seq uint64, dec *checkpoint.Decoder) error {
+		if seq <= 25 {
+			return nil // covered by the snapshot; outer CRC already verified
+		}
+		if got := dec.String(); got != "rec" {
+			return fmt.Errorf("seq %d: payload tag %q", seq, got)
+		}
+		if got := dec.Uvarint(); got != seq*7 {
+			return fmt.Errorf("seq %d: payload value %d", seq, got)
+		}
+		if err := dec.Close(); err != nil {
+			return err
+		}
+		applied = append(applied, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != 40 || info.Frames != 40 {
+		t.Fatalf("info = %+v, want all 40 frames seen", info)
+	}
+	wantSeqs(t, applied, 26, 40)
+	// The writer reopens at 41 and the next snapshot's truncation catches up.
+	w2, err := Open(dir, 41, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.TruncateThrough(25); err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w2, 41, 45)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, seqs[0], 45)
+	if seqs[0] > 26 {
+		t.Fatalf("records after the snapshot were truncated: first survivor %d", seqs[0])
+	}
+	_ = w
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		mode SyncMode
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"", SyncAlways, true},
+		{"none", SyncNone, true},
+		{"250ms", SyncInterval, true},
+		{"0s", 0, false},
+		{"-1s", 0, false},
+		{"often", 0, false},
+	} {
+		mode, d, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseSyncPolicy(%q): err = %v", tc.in, err)
+		}
+		if tc.ok && mode != tc.mode {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, want %v", tc.in, mode, tc.mode)
+		}
+		if tc.in == "250ms" && d != 250*time.Millisecond {
+			t.Fatalf("ParseSyncPolicy(250ms) interval = %v", d)
+		}
+	}
+
+	// SyncNone: appends are not individually fsynced, Close still syncs.
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{Mode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 5)
+	if st := w.Stats(); st.SyncedBytes >= st.AppendedBytes {
+		t.Fatalf("SyncNone synced eagerly: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 5)
+
+	// SyncInterval: the background flusher catches up without explicit Sync.
+	dir2 := t.TempDir()
+	w2, err := Open(dir2, 1, Options{Mode: SyncInterval, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w2, 1, 5)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := w2.Stats()
+		if st.SyncedBytes == st.AppendedBytes {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background flusher never synced: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendSeqDiscipline(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	writeRecords(t, w, 1, 3)
+	err = w.Append(5, func(enc *checkpoint.Encoder) error { return nil })
+	if err == nil {
+		t.Fatal("append with a sequence gap succeeded")
+	}
+	err = w.Append(3, func(enc *checkpoint.Encoder) error { return nil })
+	if err == nil {
+		t.Fatal("append with a reused sequence succeeded")
+	}
+}
