@@ -13,7 +13,7 @@ BENCH_COUNT ?=
 BENCH_SCALE ?=
 export BENCH_COUNT BENCH_SCALE
 
-.PHONY: all build vet test race bench bench-diff bench-full bench-live bench-recovery verify
+.PHONY: all build vet test race race-shard bench bench-diff bench-full bench-live bench-recovery verify
 
 all: verify
 
@@ -28,6 +28,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The sharded ingest subsystem under forced parallelism: the shard workers,
+# commit sequencer, and sharded-vs-serial equivalence properties race-checked
+# at GOMAXPROCS=4 even on boxes whose default would serialize the schedule
+# (a 1-core default hides exactly the interleavings sharding introduces).
+race-shard:
+	GOMAXPROCS=4 $(GO) test -race ./internal/shard/... ./internal/live/...
 
 # Short-mode benchmark harness: asserts serial/partitioned equivalence at
 # reduced scale and refreshes the reduced-scale records
@@ -73,4 +80,4 @@ bench-diff:
 bench-full:
 	NEXMARK_BENCH_STRICT=1 $(GO) test ./internal/nexmark -run TestNexmarkBench -v -timeout 20m
 
-verify: vet build race bench
+verify: vet build race race-shard bench

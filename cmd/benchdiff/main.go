@@ -125,10 +125,13 @@ func diffQueries(w *os.File, oldRec, newRec *record) {
 }
 
 // liveKey identifies a standing-query scenario across records: the same
-// query measured at a different mode, parallelism, fan-out width, or
-// sharing posture is a different row.
+// query measured at a different mode, parallelism, fan-out width, sharing
+// posture, shard count, query count, or pinned GOMAXPROCS is a different
+// row. The shard/query/proc fields are zero for pre-sharding records, so
+// old baselines keep matching.
 func liveKey(q bench.LiveResult) string {
-	return fmt.Sprintf("%s/%s/p%d/k%d/shared=%v", q.Query, q.Mode, q.Partitions, q.Subscribers, q.Shared)
+	return fmt.Sprintf("%s/%s/p%d/k%d/shared=%v/sh%d/q%d/procs%d",
+		q.Query, q.Mode, q.Partitions, q.Subscribers, q.Shared, q.Shards, q.Queries, q.Procs)
 }
 
 func diffLive(w *os.File, oldRec, newRec *record) {
@@ -136,11 +139,11 @@ func diffLive(w *os.File, oldRec, newRec *record) {
 	for _, q := range oldRec.Subscriptions {
 		byKey[liveKey(q)] = q
 	}
-	fmt.Fprintf(w, "%-40s %-6s %3s %3s %7s %12s %10s %10s %12s %8s\n",
-		"subscription", "mode", "p", "k", "shared", "ingest ev/s", "p50", "p99", "baseline", "delta")
+	fmt.Fprintf(w, "%-40s %-6s %3s %3s %7s %3s %5s %12s %10s %10s %12s %8s\n",
+		"subscription", "mode", "p", "k", "shared", "sh", "procs", "ingest ev/s", "p50", "p99", "baseline", "delta")
 	for _, nq := range newRec.Subscriptions {
-		line := fmt.Sprintf("%-40.40s %-6s %3d %3d %7v %12.0f %10s %10s",
-			nq.Query, nq.Mode, nq.Partitions, nq.Subscribers, nq.Shared, nq.EventsPerSec,
+		line := fmt.Sprintf("%-40.40s %-6s %3d %3d %7v %3d %5d %12.0f %10s %10s",
+			nq.Query, nq.Mode, nq.Partitions, nq.Subscribers, nq.Shared, nq.Shards, nq.Procs, nq.EventsPerSec,
 			time.Duration(nq.LatencyP50Ns), time.Duration(nq.LatencyP99Ns))
 		oq, ok := byKey[liveKey(nq)]
 		if !ok {
@@ -152,8 +155,8 @@ func diffLive(w *os.File, oldRec, newRec *record) {
 	}
 	for _, oq := range oldRec.Subscriptions {
 		if _, gone := byKey[liveKey(oq)]; gone {
-			fmt.Fprintf(w, "%-40.40s %-6s %3d %3d %7v %12s (removed, was %.0f ev/s)\n",
-				oq.Query, oq.Mode, oq.Partitions, oq.Subscribers, oq.Shared, "-", oq.EventsPerSec)
+			fmt.Fprintf(w, "%-40.40s %-6s %3d %3d %7v %3d %5d %12s (removed, was %.0f ev/s)\n",
+				oq.Query, oq.Mode, oq.Partitions, oq.Subscribers, oq.Shared, oq.Shards, oq.Procs, "-", oq.EventsPerSec)
 		}
 	}
 }

@@ -4,6 +4,15 @@
 // deltas back over chunked ndjson responses — no recompilation or history
 // rescan per request.
 //
+// With -shards N the standing-query fan-out runs on the sharded ingest
+// subsystem: each resident pipeline is pinned to one of N shard workers and
+// commits are applied asynchronously in global commit order, so disjoint
+// standing queries scale across cores and a stalled Block-policy subscriber
+// parks only its own shard. Delta sequences are byte-identical to the serial
+// fan-out; /healthz and /v1/subscriptions report per-shard depth and lag.
+// Graceful shutdown drains the shard queues before the final checkpoint, so
+// every acknowledged commit is captured in the snapshot.
+//
 // With -data-dir the process is durable, snapshot + write-ahead-log style:
 // every committed change (ingested batches, heartbeats, registrations) is
 // appended to a segmented CRC-framed WAL under <data-dir>/wal before it is
@@ -70,9 +79,10 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "directory for durable state (snapshot + write-ahead log); restart restores the engine and its standing queries from the last snapshot plus the WAL tail")
 		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "interval between periodic snapshots, each truncating the applied WAL segments (needs -data-dir; 0 disables the ticker, leaving on-shutdown and POST /v1/checkpoint)")
 		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: \"always\" (per committed batch), \"none\", or an interval like \"250ms\" (needs -data-dir)")
+		shards    = flag.Int("shards", 0, "shard workers for standing-query fan-out (0 = serial: deliveries run on the ingesting goroutine); with N > 0 each resident pipeline is pinned to one of N workers and commits are applied asynchronously in commit order, so disjoint standing queries scale across cores and a stalled Block-policy subscriber parks only its own shard")
 	)
 	flag.Parse()
-	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync); err != nil {
+	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
@@ -83,11 +93,12 @@ func main() {
 // gracefully: final checkpoint first (while the resident pipelines are
 // still alive), then drain the standing-query handlers, then close the
 // listener.
-func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string) error {
-	engine, walw, restored, err := openEngine(preload, seed, dataDir, walSync)
+func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string, shards int) error {
+	engine, walw, restored, err := openEngine(preload, seed, dataDir, walSync, shards)
 	if err != nil {
 		return err
 	}
+	defer engine.Close()
 	srv := NewServer(engine)
 	if dataDir != "" {
 		srv.EnableCheckpoint(filepath.Join(dataDir, checkpointFileName))
@@ -160,6 +171,12 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 		ckptDone := make(chan struct{})
 		go func() {
 			defer close(ckptDone)
+			// Drain the shard queues first so every acknowledged commit is
+			// applied to its resident pipelines before they are snapshotted
+			// (a no-op under the serial fan-out). Runs inside the timed
+			// goroutine because a stalled Block-policy subscriber parks its
+			// shard; CancelSubscriptions below releases the park.
+			engine.Quiesce()
 			if n, err := srv.CheckpointNow(); err != nil {
 				log.Printf("serve: final checkpoint failed: %v", err)
 			} else {
@@ -195,9 +212,9 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 // open the log for appending and attach it so every further commit is
 // logged. The returned restored flag reports whether a snapshot existed
 // (run writes an initial one otherwise).
-func openEngine(preload int, seed int64, dataDir, walSync string) (*core.Engine, *wal.Writer, bool, error) {
+func openEngine(preload int, seed int64, dataDir, walSync string, shards int) (*core.Engine, *wal.Writer, bool, error) {
 	if dataDir == "" {
-		engine, err := buildEngine(preload, seed)
+		engine, err := buildEngine(preload, seed, shards)
 		return engine, nil, false, err
 	}
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
@@ -212,7 +229,7 @@ func openEngine(preload int, seed int64, dataDir, walSync string) (*core.Engine,
 	path := filepath.Join(dataDir, checkpointFileName)
 	switch _, statErr := os.Stat(path); {
 	case statErr == nil:
-		engine = core.NewEngine(core.WithUnboundedGroupBy())
+		engine = core.NewEngine(core.WithUnboundedGroupBy(), core.WithShards(shards))
 		if err := engine.RestoreFile(path); err != nil {
 			return nil, nil, false, fmt.Errorf("restoring %s: %w", path, err)
 		}
@@ -221,7 +238,7 @@ func openEngine(preload int, seed int64, dataDir, walSync string) (*core.Engine,
 			path, engine.LiveSessions())
 	case os.IsNotExist(statErr):
 		var err error
-		if engine, err = buildEngine(preload, seed); err != nil {
+		if engine, err = buildEngine(preload, seed, shards); err != nil {
 			return nil, nil, false, err
 		}
 	default:
@@ -283,12 +300,12 @@ func sweepStaleCheckpointTemps(dataDir string) error {
 
 // buildEngine creates the engine, optionally preloaded with the NEXMark
 // catalog and a deterministic dataset so demos have data to query.
-func buildEngine(events int, seed int64) (*core.Engine, error) {
+func buildEngine(events int, seed int64, shards int) (*core.Engine, error) {
 	if events <= 0 {
-		return core.NewEngine(core.WithUnboundedGroupBy()), nil
+		return core.NewEngine(core.WithUnboundedGroupBy(), core.WithShards(shards)), nil
 	}
 	g := nexmark.Generate(nexmark.GeneratorConfig{
 		Seed: seed, NumEvents: events, MaxOutOfOrderness: 2 * types.Second,
 	})
-	return nexmark.NewEngine(g, core.WithUnboundedGroupBy())
+	return nexmark.NewEngine(g, core.WithUnboundedGroupBy(), core.WithShards(shards))
 }

@@ -683,9 +683,18 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 			// pipeline report the same pipeline id and the count of
 			// subscribers attached to it.
 			"pipeline": st.PipelineID, "subscribers": st.Subscribers,
+			// Shard placement: which shard worker applies this pipeline's
+			// deliveries, or -1 under the serial fan-out.
+			"shard": st.Shard,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"subscriptions": out})
+	resp := map[string]any{"subscriptions": out}
+	// Per-shard ingest queue state (depth = commits waiting, lag = enqueued
+	// minus applied), present only when running with -shards.
+	if stats := s.engine.ShardStats(); stats != nil {
+		resp["shards"] = stats
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
@@ -723,6 +732,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ok": true, "liveSessions": s.engine.LiveSessions(),
 		"liveSubscribers": s.engine.LiveSubscribers(),
 		"checkpointing":   s.ckptPath != "",
+	}
+	// Sharded fan-out health: per-shard queue depth and apply lag, read
+	// lock-free so the probe stays responsive while a shard is parked on a
+	// stalled Block-policy subscriber.
+	if stats := s.engine.ShardStats(); stats != nil {
+		out["shards"] = len(stats)
+		out["shardStats"] = stats
 	}
 	if s.walTrunc != nil {
 		out["walEnabled"] = true

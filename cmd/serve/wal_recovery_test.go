@@ -19,7 +19,7 @@ import (
 // WAL-truncation wiring + first-boot snapshot) and returns the HTTP server.
 func openServer(t *testing.T, dir string) (*Server, *httptest.Server, bool) {
 	t.Helper()
-	engine, walw, restored, err := openEngine(0, 0, dir, "always")
+	engine, walw, restored, err := openEngine(0, 0, dir, "always", 0)
 	if err != nil {
 		t.Fatalf("openEngine: %v", err)
 	}
@@ -182,7 +182,7 @@ func TestStaleCheckpointTempSweep(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	engine, walw, _, err := openEngine(0, 0, dir, "always")
+	engine, walw, _, err := openEngine(0, 0, dir, "always", 0)
 	if err != nil {
 		t.Fatalf("openEngine: %v", err)
 	}

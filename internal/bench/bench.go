@@ -103,6 +103,16 @@ type LiveResult struct {
 	// Shared reports whether the subscriptions shared one resident
 	// pipeline (plan cache on) or each ran a dedicated pipeline.
 	Shared bool `json:"shared"`
+	// Shards is the fan-out configuration: 0 means the serial fan-out
+	// (deliveries run on the ingesting goroutine), N > 0 means N shard
+	// workers applying commits asynchronously in commit order.
+	Shards int `json:"shards,omitempty"`
+	// Queries is the number of distinct standing queries fed by the same
+	// ingest in a multi-query scaling scenario (0/1 = single query).
+	Queries int `json:"queries,omitempty"`
+	// Procs is the GOMAXPROCS the scenario pinned for the measurement
+	// (0 = the process default, recorded in the record header).
+	Procs int `json:"procs,omitempty"`
 	// Events is the number of source events ingested while subscribed.
 	Events int `json:"events"`
 	// Deltas / Rows count deliveries and output rows received.

@@ -42,6 +42,7 @@ type Engine struct {
 	cfg     plan.Config
 	live    *live.Manager
 	gateMin int // small-input gate override; -1 = exec default
+	shards  int // live fan-out shard workers; 0 = serial (see WithShards)
 
 	// wal, when attached, receives every committed change before it is
 	// applied or fanned out; walSeq is the last committed sequence number
@@ -75,14 +76,36 @@ func WithSmallInputGate(minPerPart int) Option {
 	return func(e *Engine) { e.gateMin = minPerPart }
 }
 
+// WithShards enables the sharded ingest subsystem for standing queries: n
+// shard workers fan committed changes out to resident sessions off the
+// committing goroutine, each session pinned to one shard, per-shard strictly
+// in commit order (delta sequences stay byte-identical to the serial
+// fan-out). 0 (the default) keeps the serial fan-out on the publisher's
+// goroutine. One-shot queries and checkpoints quiesce the shards first, so
+// read-your-writes is preserved either way.
+func WithShards(n int) Option {
+	return func(e *Engine) { e.shards = n }
+}
+
 // NewEngine creates an empty engine.
 func NewEngine(opts ...Option) *Engine {
-	e := &Engine{rels: make(map[string]*relation), live: live.NewManager(), gateMin: -1}
+	e := &Engine{rels: make(map[string]*relation), gateMin: -1}
 	for _, o := range opts {
 		o(e)
 	}
+	e.live = live.NewManagerWith(live.Options{Shards: e.shards})
 	return e
 }
+
+// Quiesce blocks until every change acknowledged before the call has been
+// applied to all standing queries — the read-your-writes barrier when the
+// sharded fan-out is enabled. A no-op on a serial-fan-out engine.
+func (e *Engine) Quiesce() { e.live.Quiesce() }
+
+// Close drains and stops the sharded fan-out workers (a no-op on a
+// serial-fan-out engine). Call after publishing has stopped; standing
+// subscriptions are not canceled.
+func (e *Engine) Close() { e.live.Close() }
 
 // RegisterStream registers an unbounded relation (a stream). Columns marked
 // EventTime carry the stream's watermark.
@@ -403,6 +426,11 @@ func (e *Engine) run(sql string, at types.Time) (*exec.Result, exec.Stats, error
 // per-partition outputs deterministically; otherwise it runs the serial
 // pipeline. Both paths produce byte-identical results.
 func (e *Engine) runWith(sql string, at types.Time, parts int) (*exec.Result, exec.Stats, error) {
+	// Read-your-writes: under the sharded fan-out an acknowledged change may
+	// still be in a shard queue; one-shot queries read the recorded catalog
+	// logs, which the commit already updated, but quiescing first also keeps
+	// "query result" and "what subscriptions have seen" at one commit point.
+	e.live.Quiesce()
 	pq, err := e.plan(sql)
 	if err != nil {
 		return nil, exec.Stats{}, err

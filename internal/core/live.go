@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/live"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/types"
 )
 
@@ -212,4 +213,17 @@ func (e *Engine) LiveSessions() int {
 // all resident pipelines.
 func (e *Engine) LiveSubscribers() int {
 	return e.live.Subscribers()
+}
+
+// ShardStats snapshots the sharded fan-out's per-shard queue depth and lag,
+// or nil when the engine runs the serial fan-out (see WithShards). Lock-free,
+// so health probes stay responsive while a shard is stalled on a Block-policy
+// subscriber.
+func (e *Engine) ShardStats() []shard.Stat {
+	return e.live.ShardStats()
+}
+
+// Shards reports the number of shard workers (0 = serial fan-out).
+func (e *Engine) Shards() int {
+	return e.live.Shards()
 }

@@ -116,6 +116,7 @@ func restoreSession(dec *checkpoint.Decoder, restore RestoreDriver) (*Session, e
 		overflowed: overflowed,
 	}
 	s.parkCond = sync.NewCond(&s.mu)
+	s.shard.Store(-1)
 	s.wm.Store(int64(wm))
 	s.eventsIn.Store(eventsIn)
 	for _, name := range cfg.Sources {
@@ -184,6 +185,15 @@ func (a *tableAcc) loadState(dec *checkpoint.Decoder) error {
 func (m *Manager) CheckpointAll(enc *checkpoint.Encoder, extra func(*checkpoint.Encoder) error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Sharded mode: with the ordering lock held no new commit can enter, so
+	// draining the shard queues here brings every session exactly up to the
+	// last acknowledged commit — the single commit point the snapshot
+	// describes. The drain MUST run before any session lock is taken below:
+	// a shard worker holds ingestMu while applying a delivery, so draining
+	// after would deadlock.
+	if m.pool != nil {
+		m.pool.Drain()
+	}
 	if extra != nil {
 		if err := extra(enc); err != nil {
 			return err
@@ -215,7 +225,7 @@ func (m *Manager) CheckpointAll(enc *checkpoint.Encoder, extra func(*checkpoint.
 		}
 	}
 	enc.Section("live.Manager")
-	enc.Time(m.lastPt)
+	enc.Time(m.seq.LastHeartbeat())
 	enc.Uvarint(uint64(len(open)))
 	for _, e := range open {
 		enc.String(e.key)
@@ -236,9 +246,7 @@ func (m *Manager) RestoreAll(dec *checkpoint.Decoder, restore RestoreDriver) err
 	if err := dec.Expect("live.Manager"); err != nil {
 		return err
 	}
-	if pt := dec.Time(); pt > m.lastPt {
-		m.lastPt = pt
-	}
+	m.seq.RecordHeartbeat(dec.Time())
 	n := int(dec.Uvarint())
 	if err := dec.Err(); err != nil {
 		return err
@@ -254,13 +262,9 @@ func (m *Manager) RestoreAll(dec *checkpoint.Decoder, restore RestoreDriver) err
 		}
 		id := m.nextID
 		m.nextID++
-		m.subs[id] = sess
-		m.order = append(m.order, id)
+		m.installLocked(id, sess) // routing table + shard placement
 		m.plans[key] = sess
 		m.keys[id] = key
-		sess.setID(id)
-		sess.SetTeardown(func() { m.unregister(id) })
 	}
-	m.refreshLocked()
 	return dec.Err()
 }

@@ -84,6 +84,7 @@ func (c *cursor) stats() Stats {
 		Partitions:  s.partitions,
 		PipelineID:  int(s.id.Load()),
 		Subscribers: int(s.nsubs.Load()),
+		Shard:       s.shardIndex(),
 	}
 }
 
@@ -154,6 +155,12 @@ func (c *cursor) closeGraceful() (*Delta, error) {
 	// channel; the interrupted producer folds the delta into pending.
 	c.once.Do(func() { close(c.done) })
 	s := c.s
+	// Sharded mode: wait for the session's shard to apply every commit
+	// acknowledged before this close, so those deliveries land in the
+	// buffer (or fold into pending via the closed done) and the final
+	// delta misses nothing the engine already acked as durable. Holds no
+	// locks — the shard worker needs ingestMu/mu to make progress.
+	s.drainShard()
 	s.mu.Lock()
 	c.waitUnparkedLocked()
 	if c.detached {

@@ -211,6 +211,9 @@ type Stats struct {
 	// Subscribers is the number of cursors currently attached to the
 	// resident pipeline (1 for an unshared subscription).
 	Subscribers int
+	// Shard is the resident pipeline's shard index under the sharded
+	// ingest subsystem, or -1 under the serial fan-out.
+	Shard int
 }
 
 // CursorOpts configures one subscriber cursor attached to a session.

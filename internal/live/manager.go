@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/shard"
 	"repro/internal/tvr"
 	"repro/internal/types"
 )
@@ -14,19 +15,35 @@ import (
 // live sessions keyed by the relations they scan, plus the shared-plan table
 // that dedupes identical subscriptions onto one resident pipeline. The
 // owning engine funnels every catalog mutation through Publish, which
-// serializes the commit and the fan-out under one ordering lock so all
-// sessions observe changes in the same global order they entered the
-// catalog — the property that makes a standing subscription's delta sequence
-// equal a post-hoc replay. Fan-out across sessions runs in registration-id
-// order, so delivery (and therefore Block-policy stall behavior and cursor
-// attach interleaving) is reproducible run to run.
+// serializes the commit under one ordering lock so all sessions observe
+// changes in the same global order they entered the catalog — the property
+// that makes a standing subscription's delta sequence equal a post-hoc
+// replay.
+//
+// Fan-out runs in one of two modes. The default (serial) mode feeds every
+// matching session on the committing goroutine, inside the critical section,
+// in registration-id order. With Options.Shards > 0 the manager instead runs
+// the sharded ingest subsystem (internal/shard): the commit acquires a
+// global sequence number from the sequencer and enqueues one task per
+// affected shard while still inside the critical section, and each shard's
+// single worker applies its tasks in FIFO — therefore global commit — order.
+// Every session lives on exactly one shard (hash of its registration id,
+// never rebalanced) and is only ever fed by that shard's worker, so its
+// delivery order is identical to the serial mode's; a Block-policy
+// subscriber that stops draining stalls only its own shard, and a full
+// shard queue blocks the publisher — backpressure reaches the committer
+// either way, just with a bounded amount of slack.
 //
 // Lock order is Manager.mu -> engine catalog lock -> Session.mu; nothing may
-// take them in reverse. A delivery blocked on a slow Block-policy subscriber
-// holds Manager.mu and that session's mu — never the engine catalog lock —
-// so concurrent reads and queries against the engine proceed (as do the
-// lock-free Stats/Err accessors), while further ingestion waits: that is the
-// backpressure.
+// take them in reverse. Shard workers take only session locks (ingestMu,
+// then mu) — never Manager.mu — so a publisher blocked on a full shard
+// queue while holding Manager.mu cannot deadlock against its own workers; a
+// worker that must unregister a dead session defers that to a fresh
+// goroutine. Drain barriers (attach, checkpoint, Quiesce, a cursor's
+// graceful close) wait on shard queue watermarks without holding locks the
+// workers need. Concurrent reads and queries against the engine proceed
+// during a stalled delivery (as do the lock-free Stats/Err accessors);
+// further ingestion waits: that is the backpressure.
 type Manager struct {
 	mu     sync.Mutex
 	nextID int
@@ -34,26 +51,59 @@ type Manager struct {
 	order  []int               // registration ids, ascending — the fan-out order
 	plans  map[string]*Session // shared-plan table: plan key -> resident session
 	keys   map[int]string      // registration id -> plan key (for cleanup)
-	// lastPt is the latest processing time broadcast via Advance. A
-	// session registered afterwards is caught up to it before going live,
-	// so its EMIT AFTER DELAY timers fire exactly as an identical session
-	// registered earlier would have.
-	lastPt types.Time
+
+	// seq is the global commit sequencer. Its sequence counter and
+	// last-heartbeat clock advance only inside the m.mu commit critical
+	// section, making it the authoritative ordering-path state a
+	// registration's catch-up reads (see registerLocked) — its reads are
+	// atomic, so they cannot race the asynchronous shard application of
+	// the same heartbeats.
+	seq *shard.Sequencer
+	// pool is the shard worker pool; nil in serial mode.
+	pool *shard.Pool
 
 	count atomic.Int64 // len(subs), readable without m.mu
 	snap  atomic.Value // []*Session, for lock-free Subscribers()
 }
 
-// NewManager creates an empty registry.
+// Options configures a Manager.
+type Options struct {
+	// Shards > 0 enables the sharded ingest subsystem with that many shard
+	// workers; 0 keeps the serial fan-out (every delivery on the
+	// committing goroutine).
+	Shards int
+	// QueueDepth bounds each shard's ingest queue
+	// (shard.DefaultQueueDepth when 0). A publisher blocks once a shard's
+	// queue is full.
+	QueueDepth int
+}
+
+// NewManager creates an empty registry with the serial fan-out.
 func NewManager() *Manager {
+	return NewManagerWith(Options{})
+}
+
+// NewManagerWith creates an empty registry with the given fan-out options.
+func NewManagerWith(o Options) *Manager {
 	m := &Manager{
-		subs:   make(map[int]*Session),
-		plans:  make(map[string]*Session),
-		keys:   make(map[int]string),
-		lastPt: types.MinTime,
+		subs:  make(map[int]*Session),
+		plans: make(map[string]*Session),
+		keys:  make(map[int]string),
+		seq:   shard.NewSequencer(),
+	}
+	if o.Shards > 0 {
+		m.pool = shard.NewPool(o.Shards, o.QueueDepth)
 	}
 	m.snap.Store([]*Session{})
 	return m
+}
+
+// Shards reports the number of shard workers (0 = serial fan-out).
+func (m *Manager) Shards() int {
+	if m.pool == nil {
+		return 0
+	}
+	return m.pool.Shards()
 }
 
 // Subscribe is the shared-plan entry point. When key is non-empty and a
@@ -69,6 +119,11 @@ func (m *Manager) Subscribe(key string, opts CursorOpts, create func() (*Session
 	defer m.mu.Unlock()
 	if key != "" {
 		if sess := m.plans[key]; sess != nil {
+			// Attach barrier: the snapshot hand-off must reflect every
+			// commit acknowledged so far, so drain the session's shard to
+			// the current sequence point first. New commits cannot slip
+			// in — we hold the ordering lock.
+			m.drainSessionLocked(sess)
 			sub, err := sess.Attach(opts)
 			if err == nil {
 				return sub, nil
@@ -147,23 +202,47 @@ func (m *Manager) registerLocked(sess *Session, history func() ([]exec.Source, e
 		}
 	}
 	// Catch the new pipeline's processing-time clock up to the last
-	// heartbeat, after the history replay: delay timers the replayed
-	// events armed that are already due must fire now, not at the next
-	// broadcast, or the late joiner's emissions would coalesce
-	// differently than an early subscriber's.
-	if m.lastPt > types.MinTime {
-		if err := sess.Advance(m.lastPt); err != nil {
+	// committed heartbeat, after the history replay: delay timers the
+	// replayed events armed that are already due must fire now, not at the
+	// next broadcast, or the late joiner's emissions would coalesce
+	// differently than an early subscriber's. The clock comes from the
+	// sequencer — ordering-path state advanced under this same lock at
+	// commit time — never from what the shard workers have applied so
+	// far, which lags it.
+	if pt := m.seq.LastHeartbeat(); pt > types.MinTime {
+		if err := sess.Advance(pt); err != nil {
 			return 0, err
 		}
 	}
 	id := m.nextID
 	m.nextID++
+	m.installLocked(id, sess)
+	return id, nil
+}
+
+// installLocked wires a session into the routing table under the given id:
+// fan-out order, teardown hook, and — in sharded mode — its permanent shard
+// placement and the drain hook a graceful cursor close uses as its barrier.
+func (m *Manager) installLocked(id int, sess *Session) {
 	m.subs[id] = sess
 	m.order = append(m.order, id) // nextID is monotonic: stays sorted
 	m.refreshLocked()
 	sess.setID(id)
 	sess.SetTeardown(func() { m.unregister(id) })
-	return id, nil
+	if m.pool != nil {
+		sh := m.pool.ShardOf(id)
+		sess.setShard(sh)
+		sess.setDrain(func() { m.pool.DrainShard(sh) })
+	}
+}
+
+// drainSessionLocked waits until the session's shard has applied every task
+// enqueued so far. Serial mode needs no barrier — fan-out is synchronous.
+// Caller holds m.mu, which the workers never take.
+func (m *Manager) drainSessionLocked(sess *Session) {
+	if m.pool != nil {
+		m.pool.DrainShard(sess.shardIndex())
+	}
 }
 
 func (m *Manager) unregister(id int) {
@@ -207,11 +286,14 @@ func (m *Manager) refreshLocked() {
 }
 
 // Publish atomically commits an engine-side change and routes the resulting
-// events to every session scanning the named relation, in registration-id
-// order. Each session receives the whole batch in one delivery (one delta
-// per attached cursor, one partitioned round) rather than per-event. A
-// session that refuses the batch (canceled, every cursor dropped, or
-// failed) is removed from the routing table; its subscribers learn why from
+// events to every session scanning the named relation. The commit (and, in
+// sharded mode, the sequence-number acquisition and per-shard enqueues)
+// happens under the ordering lock; the deliveries themselves run on the
+// committing goroutine in serial mode or on the shard workers otherwise.
+// Each session receives the whole batch in one delivery (one delta per
+// attached cursor, one partitioned round) rather than per-event. A session
+// that refuses the batch (canceled, every cursor dropped, or failed) is
+// removed from the routing table; its subscribers learn why from
 // Subscription.Err.
 func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) error {
 	m.mu.Lock()
@@ -219,26 +301,31 @@ func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) err
 	if err := commit(); err != nil {
 		return err
 	}
+	seq := m.seq.Next()
 	if len(evs) == 0 {
 		return nil
 	}
 	batch := []exec.Source{{Name: name, Log: evs}}
-	for _, id := range append([]int(nil), m.order...) {
-		sess := m.subs[id]
-		if sess == nil || !sess.Matches(name) {
-			continue
+	if m.pool == nil {
+		for _, id := range append([]int(nil), m.order...) {
+			sess := m.subs[id]
+			if sess == nil || !sess.Matches(name) {
+				continue
+			}
+			if err := sess.IngestLog(batch); err != nil {
+				m.removeLocked(id)
+			}
 		}
-		if err := sess.IngestLog(batch); err != nil {
-			m.removeLocked(id)
-		}
+		return nil
 	}
+	m.fanOutLocked(seq, func(sess *Session) bool { return sess.Matches(name) },
+		func(sess *Session) error { return sess.IngestLog(batch) })
 	return nil
 }
 
-// Advance broadcasts a processing-time heartbeat to every session in
-// registration-id order, firing due EMIT AFTER DELAY timers across all
-// standing queries, and records pt so later-registered sessions start from
-// the same clock.
+// Advance broadcasts a processing-time heartbeat to every session, firing
+// due EMIT AFTER DELAY timers across all standing queries, and records pt in
+// the sequencer so later-registered sessions start from the same clock.
 func (m *Manager) Advance(pt types.Time) {
 	m.AdvanceWith(pt, nil) // never errors with a nil commit
 }
@@ -257,19 +344,92 @@ func (m *Manager) AdvanceWith(pt types.Time, commit func() error) error {
 			return err
 		}
 	}
-	if pt > m.lastPt {
-		m.lastPt = pt
+	seq := m.seq.Next()
+	m.seq.RecordHeartbeat(pt)
+	if m.pool == nil {
+		for _, id := range append([]int(nil), m.order...) {
+			sess := m.subs[id]
+			if sess == nil {
+				continue
+			}
+			if err := sess.Advance(pt); err != nil {
+				m.removeLocked(id)
+			}
+		}
+		return nil
 	}
-	for _, id := range append([]int(nil), m.order...) {
+	m.fanOutLocked(seq, func(*Session) bool { return true },
+		func(sess *Session) error { return sess.Advance(pt) })
+	return nil
+}
+
+// fanOutLocked groups the matching sessions by shard and enqueues one task
+// per affected shard, in ascending shard order, all under m.mu — so every
+// shard's FIFO queue carries commits in global sequence order. The task
+// feeds the shard's sessions in registration-id order (the groups preserve
+// m.order). A session that refuses its delivery is torn down from a fresh
+// goroutine: the worker itself must never take m.mu, which a publisher
+// blocked on a full shard queue may hold.
+func (m *Manager) fanOutLocked(seq uint64, match func(*Session) bool, apply func(*Session) error) {
+	groups := make([][]*Session, m.pool.Shards())
+	any := false
+	for _, id := range m.order {
 		sess := m.subs[id]
-		if sess == nil {
+		if sess == nil || !match(sess) {
 			continue
 		}
-		if err := sess.Advance(pt); err != nil {
-			m.removeLocked(id)
-		}
+		sh := m.pool.ShardOf(id)
+		groups[sh] = append(groups[sh], sess)
+		any = true
 	}
-	return nil
+	if !any {
+		return
+	}
+	for sh, sessions := range groups {
+		if len(sessions) == 0 {
+			continue
+		}
+		sessions := sessions
+		m.pool.Enqueue(sh, seq, func() {
+			for _, sess := range sessions {
+				if err := apply(sess); err != nil {
+					// The session refused the delivery (canceled,
+					// dropped, or failed): unregister it without
+					// blocking this worker on the manager lock.
+					go sess.runTeardown()
+				}
+			}
+		})
+	}
+}
+
+// Quiesce blocks until every commit acknowledged before the call has been
+// applied by its shard worker — the read-your-writes barrier for one-shot
+// queries and checkpoints. Lock-free (it waits on per-shard queue
+// watermarks captured at call time); an immediate no-op in serial mode.
+func (m *Manager) Quiesce() {
+	if m.pool != nil {
+		m.pool.Drain()
+	}
+}
+
+// Close drains and stops the shard workers. Call only after all publishing
+// has stopped; live subscriptions are not canceled. A no-op in serial mode,
+// idempotent otherwise.
+func (m *Manager) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+	}
+}
+
+// ShardStats snapshots every shard's queue depth and lag (nil in serial
+// mode). Lock-free, so health probes stay responsive while a shard is
+// stalled on a Block-policy subscriber.
+func (m *Manager) ShardStats() []shard.Stat {
+	if m.pool == nil {
+		return nil
+	}
+	return m.pool.Stats()
 }
 
 // Len reports the number of resident pipelines without taking the routing

@@ -92,6 +92,13 @@ type Session struct {
 
 	teardown     func() // unregisters from the owning manager
 	teardownOnce sync.Once
+
+	// Sharded-mode placement, set by the manager at registration. drain
+	// blocks until the session's shard has applied every commit enqueued so
+	// far — the barrier a graceful close uses so acknowledged commits reach
+	// the final delta. Both are nil/-1 under the serial fan-out.
+	drain func()
+	shard atomic.Int64 // shard index; -1 = serial fan-out
 }
 
 // NewSession starts the driver and wraps it as a standing query with no
@@ -108,6 +115,7 @@ func NewSession(d exec.Driver, cfg Config) (*Session, error) {
 		partitions: d.Stats().Partitions,
 	}
 	s.parkCond = sync.NewCond(&s.mu)
+	s.shard.Store(-1)
 	if cfg.Mode == Table {
 		s.tableSnap = newTableAcc()
 	}
@@ -123,6 +131,26 @@ func (s *Session) SetTeardown(fn func()) { s.teardown = fn }
 
 // setID records the manager-assigned pipeline id.
 func (s *Session) setID(id int) { s.id.Store(int64(id)) }
+
+// setShard records the session's permanent shard placement.
+func (s *Session) setShard(sh int) { s.shard.Store(int64(sh)) }
+
+// shardIndex reports the session's shard (-1 = serial fan-out). Lock-free.
+func (s *Session) shardIndex() int { return int(s.shard.Load()) }
+
+// setDrain installs the shard drain barrier (see the drain field). Called by
+// the manager at registration, before any sharded fan-out can reach the
+// session.
+func (s *Session) setDrain(fn func()) { s.drain = fn }
+
+// drainShard waits out the session's shard queue (a no-op under the serial
+// fan-out). Must be called without holding s.mu or ingestMu: the shard
+// worker takes both to apply deliveries.
+func (s *Session) drainShard() {
+	if s.drain != nil {
+		s.drain()
+	}
+}
 
 // Matches reports whether the standing query scans the named relation.
 func (s *Session) Matches(name string) bool { return s.sources[strings.ToLower(name)] }

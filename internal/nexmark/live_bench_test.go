@@ -7,6 +7,9 @@ package nexmark
 // repository root. Run via `make bench-live`.
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -212,6 +215,96 @@ func measureLiveFanout(t testing.TB, bids tvr.Changelog, k int, shared bool) ben
 	return res
 }
 
+// multiQuerySQL returns n disjoint standing queries over the Bid stream:
+// the same windowed rollup at n distinct tumble widths, so each compiles to
+// its own resident pipeline (distinct plan keys) and the sharded fan-out can
+// actually spread them across workers.
+func multiQuerySQL(n int) []string {
+	durs := []int{4, 5, 8, 10, 15, 20, 25, 30}
+	qs := make([]string, n)
+	for i := range qs {
+		qs[i] = fmt.Sprintf(`
+SELECT auction, wstart, wend, MAX(price) maxPrice
+FROM Tumble(
+  data => TABLE(Bid),
+  timecol => DESCRIPTOR(dateTime),
+  dur => INTERVAL '%d' SECONDS)
+GROUP BY auction, wstart, wend
+EMIT STREAM AFTER WATERMARK`, durs[i%len(durs)])
+	}
+	return qs
+}
+
+// measureMultiQuery is the sharded-fan-out scaling scenario: `queries`
+// disjoint standing queries fed by one ingest loop, measured at a pinned
+// GOMAXPROCS. Under the serial fan-out (shards=0) every pipeline applies on
+// the ingesting goroutine, so aggregate throughput cannot scale with procs;
+// with shard workers the applies run concurrently across pipelines. The
+// clock stops after Quiesce so the sharded configurations pay for every
+// enqueued delivery, not just for handing work to the queues.
+func measureMultiQuery(t testing.TB, bids tvr.Changelog, shards, procs, queries int) bench.LiveResult {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	e := core.NewEngine(core.WithShards(shards))
+	defer e.Close()
+	if err := e.RegisterStream("Bid", BidFullSchema()); err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*live.Subscription, queries)
+	for i, sql := range multiQuerySQL(queries) {
+		var err error
+		subs[i], err = e.SubscribeStream(sql, core.SubscribeOptions{Buffer: len(bids) + 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.LiveSessions(); got != queries {
+		t.Fatalf("%d resident pipelines, want %d disjoint queries", got, queries)
+	}
+	start := time.Now()
+	for _, ev := range bids {
+		var err error
+		switch ev.Kind {
+		case tvr.Insert:
+			err = e.Insert("Bid", ev.Ptime, ev.Row)
+		case tvr.Delete:
+			err = e.Delete("Bid", ev.Ptime, ev.Row)
+		case tvr.Watermark:
+			err = e.AdvanceWatermark("Bid", ev.Ptime, ev.Wm)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Quiesce()
+	ingestNs := time.Since(start).Nanoseconds()
+	res := bench.LiveResult{
+		Query:       "Disjoint windowed maxes, aggregate ingest",
+		Mode:        live.Stream.String(),
+		Partitions:  1,
+		Subscribers: queries,
+		Shared:      false,
+		Shards:      shards,
+		Queries:     queries,
+		Procs:       procs,
+		Events:      len(bids),
+		IngestNs:    ingestNs,
+	}
+	for _, sub := range subs {
+		if _, err := sub.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := sub.Stats()
+		res.Deltas += st.DeltasOut
+		res.Rows += st.RowsOut
+	}
+	if res.Deltas == 0 {
+		t.Fatal("multi-query benchmark delivered no deltas")
+	}
+	return res
+}
+
 // TestLiveBench measures steady-state subscription serving and writes
 // BENCH_live.json (or, for reduced-scale short/race runs, the separate
 // BENCH_live_short.json, so the committed full-scale baseline survives
@@ -255,6 +348,43 @@ func TestLiveBench(t *testing.T) {
 	if sharedRes.Deltas != unsharedRes.Deltas || sharedRes.Rows != unsharedRes.Rows {
 		t.Errorf("shared fan-out delivered %d deltas/%d rows, unshared %d/%d — outputs must match",
 			sharedRes.Deltas, sharedRes.Rows, unsharedRes.Deltas, unsharedRes.Rows)
+	}
+	// Multi-query scaling: 8 disjoint standing queries fed by one ingest,
+	// serial fan-out vs. 8 shard workers, at 1 and 4 procs. Every
+	// configuration must deliver the identical aggregate output (the
+	// byte-identity contract reduced to counts here; the property tests in
+	// internal/live and internal/core pin the full sequences).
+	const scaleQueries, scaleProcs = 8, 4
+	var multi []bench.LiveResult
+	for _, cfg := range []struct{ shards, procs int }{
+		{0, 1}, {0, scaleProcs}, {scaleQueries, 1}, {scaleQueries, scaleProcs},
+	} {
+		res := measureMultiQuery(t, g.Bids, cfg.shards, cfg.procs, scaleQueries)
+		rec.Add(res)
+		t.Logf("multi-query shards=%d procs=%d: %d events x %d queries, %d deltas, %.0f events/s",
+			res.Shards, res.Procs, res.Events, res.Queries, res.Deltas,
+			float64(res.Events)/(float64(res.IngestNs)/1e9))
+		multi = append(multi, res)
+	}
+	for _, res := range multi[1:] {
+		if res.Deltas != multi[0].Deltas || res.Rows != multi[0].Rows {
+			t.Errorf("multi-query shards=%d procs=%d delivered %d deltas/%d rows, serial@1proc delivered %d/%d — outputs must match",
+				res.Shards, res.Procs, res.Deltas, res.Rows, multi[0].Deltas, multi[0].Rows)
+		}
+	}
+	// The >=2x scaling bar is a wall-clock assertion; like the one-shot
+	// harness's speedup bar it only arms under NEXMARK_BENCH_STRICT=1 on an
+	// uninstrumented build with real 4-way parallelism.
+	strict := os.Getenv("NEXMARK_BENCH_STRICT") == "1"
+	sharded1, sharded4 := multi[2], multi[3]
+	if strict && !testing.Short() && !raceEnabled && runtime.NumCPU() >= scaleProcs {
+		if scaling := float64(sharded1.IngestNs) / float64(sharded4.IngestNs); scaling < 2.0 {
+			t.Errorf("sharded multi-query ingest scaled %.2fx from 1 to %d procs, want >= 2x (%d queries, %d shards)",
+				scaling, scaleProcs, scaleQueries, scaleQueries)
+		}
+	} else {
+		t.Logf("sharded scaling bar skipped: strict=%v short=%v race=%v NumCPU=%d (need NEXMARK_BENCH_STRICT=1 and %d cores)",
+			strict, testing.Short(), raceEnabled, runtime.NumCPU(), scaleProcs)
 	}
 	out := "../../BENCH_live.json"
 	if rec.ShortMode {
