@@ -13,7 +13,7 @@ BENCH_COUNT ?=
 BENCH_SCALE ?=
 export BENCH_COUNT BENCH_SCALE
 
-.PHONY: all build vet test race race-shard bench bench-diff bench-full bench-live bench-recovery verify
+.PHONY: all build vet test race race-shard faults bench bench-diff bench-full bench-live bench-recovery verify
 
 all: verify
 
@@ -35,6 +35,21 @@ race:
 # (a 1-core default hides exactly the interleavings sharding introduces).
 race-shard:
 	GOMAXPROCS=4 $(GO) test -race ./internal/shard/... ./internal/live/...
+
+# Fault-injection and crash-safety suite: the vfs fault matrix, the WAL and
+# checkpoint I/O-failure tests, the ALICE-style crash-point soak (crash after
+# every file-system operation, recover, compare against the reference states),
+# the torn-write soak, degraded read-only mode end to end (engine + HTTP), and
+# the panic-isolation regressions. Runs at reduced scale by default;
+# FAULT_SOAK_FULL=1 widens the soak workload.
+#   make faults
+#   FAULT_SOAK_FULL=1 make faults
+faults:
+	$(GO) test ./internal/vfs/ -v
+	$(GO) test ./internal/wal/ ./internal/checkpoint/ -run 'Torn|Fsync|ENOSPC|Recover|Trims|SyncAlwaysRetry|Atomic' -v
+	$(GO) test ./internal/core/ -run 'TestCrashPointSoak|TestTornWriteSoak|TestDegraded' -v -timeout 10m
+	$(GO) test ./internal/exec/ ./internal/live/ -run 'Panic' -v
+	$(GO) test ./cmd/serve/ -run 'TestServeDegradedMode|TestServeRequestTimeout' -v
 
 # Short-mode benchmark harness: asserts serial/partitioned equivalence at
 # reduced scale and refreshes the reduced-scale records
@@ -80,4 +95,4 @@ bench-diff:
 bench-full:
 	NEXMARK_BENCH_STRICT=1 $(GO) test ./internal/nexmark -run TestNexmarkBench -v -timeout 20m
 
-verify: vet build race race-shard bench
+verify: vet build race race-shard faults bench

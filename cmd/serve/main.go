@@ -73,16 +73,17 @@ const (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		preload   = flag.Int("nexmark", 0, "preload the NEXMark catalog with this many generated events (0 = empty engine; ignored when restoring from -data-dir)")
-		seed      = flag.Int64("seed", 42, "generator seed for -nexmark")
-		dataDir   = flag.String("data-dir", "", "directory for durable state (snapshot + write-ahead log); restart restores the engine and its standing queries from the last snapshot plus the WAL tail")
-		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "interval between periodic snapshots, each truncating the applied WAL segments (needs -data-dir; 0 disables the ticker, leaving on-shutdown and POST /v1/checkpoint)")
-		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: \"always\" (per committed batch), \"none\", or an interval like \"250ms\" (needs -data-dir)")
-		shards    = flag.Int("shards", 0, "shard workers for standing-query fan-out (0 = serial: deliveries run on the ingesting goroutine); with N > 0 each resident pipeline is pinned to one of N workers and commits are applied asynchronously in commit order, so disjoint standing queries scale across cores and a stalled Block-policy subscriber parks only its own shard")
+		addr       = flag.String("addr", ":8080", "listen address")
+		preload    = flag.Int("nexmark", 0, "preload the NEXMark catalog with this many generated events (0 = empty engine; ignored when restoring from -data-dir)")
+		seed       = flag.Int64("seed", 42, "generator seed for -nexmark")
+		dataDir    = flag.String("data-dir", "", "directory for durable state (snapshot + write-ahead log); restart restores the engine and its standing queries from the last snapshot plus the WAL tail")
+		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "interval between periodic snapshots, each truncating the applied WAL segments (needs -data-dir; 0 disables the ticker, leaving on-shutdown and POST /v1/checkpoint)")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: \"always\" (per committed batch), \"none\", or an interval like \"250ms\" (needs -data-dir)")
+		shards     = flag.Int("shards", 0, "shard workers for standing-query fan-out (0 = serial: deliveries run on the ingesting goroutine); with N > 0 each resident pipeline is pinned to one of N workers and commits are applied asynchronously in commit order, so disjoint standing queries scale across cores and a stalled Block-policy subscriber parks only its own shard")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "deadline for one-shot requests (register, ingest, query, ...); past it the client gets a 503 and the handler context is canceled. Streaming /v1/subscribe is exempt. 0 disables")
 	)
 	flag.Parse()
-	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync, *shards); err != nil {
+	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync, *shards, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
@@ -93,13 +94,14 @@ func main() {
 // gracefully: final checkpoint first (while the resident pipelines are
 // still alive), then drain the standing-query handlers, then close the
 // listener.
-func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string, shards int) error {
+func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string, shards int, reqTimeout time.Duration) error {
 	engine, walw, restored, err := openEngine(preload, seed, dataDir, walSync, shards)
 	if err != nil {
 		return err
 	}
 	defer engine.Close()
 	srv := NewServer(engine)
+	srv.SetRequestTimeout(reqTimeout)
 	if dataDir != "" {
 		srv.EnableCheckpoint(filepath.Join(dataDir, checkpointFileName))
 	}
@@ -118,26 +120,55 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 		log.Printf("serve: initial checkpoint written (%d bytes)", n)
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	// No WriteTimeout: it would sever streaming /v1/subscribe responses,
+	// which are unbounded by design. One-shot handlers are bounded by
+	// -request-timeout instead; slow or stuck clients on the read side are
+	// bounded by the header/read/idle deadlines below.
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Periodic checkpoints, decoupled from request handling.
+	// Periodic checkpoints, decoupled from request handling. A failed
+	// checkpoint retries on a capped exponential backoff (1s, 2s, ... up to
+	// the regular interval) instead of waiting a full interval: transient
+	// faults heal quickly, and a persistent one reaches the degraded-mode
+	// threshold in seconds rather than minutes. CheckpointNow itself tracks
+	// consecutive failures for /healthz and flips/clears degraded mode.
 	if dataDir != "" && ckptEvery > 0 {
 		go func() {
-			tick := time.NewTicker(ckptEvery)
-			defer tick.Stop()
+			backoff := time.Duration(0)
+			delay := ckptEvery
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
-				case <-tick.C:
-					if n, err := srv.CheckpointNow(); err != nil {
-						log.Printf("serve: periodic checkpoint failed: %v", err)
-					} else {
-						log.Printf("serve: checkpoint written (%d bytes, %d sessions)", n, engine.LiveSessions())
-					}
+				case <-timer.C:
 				}
+				if n, err := srv.CheckpointNow(); err != nil {
+					if backoff == 0 {
+						backoff = time.Second
+					} else {
+						backoff *= 2
+					}
+					if backoff > ckptEvery {
+						backoff = ckptEvery
+					}
+					delay = backoff
+					log.Printf("serve: periodic checkpoint failed (retrying in %v): %v", delay, err)
+				} else {
+					backoff = 0
+					delay = ckptEvery
+					log.Printf("serve: checkpoint written (%d bytes, %d sessions)", n, engine.LiveSessions())
+				}
+				timer.Reset(delay)
 			}
 		}()
 	}

@@ -28,7 +28,9 @@ package main
 //	GET  /v1/healthz                    liveness + pipeline/subscriber/checkpoint state
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -69,7 +71,19 @@ type Server struct {
 	// walTrunc, when set, truncates the write-ahead log through a sequence
 	// number after a snapshot covering it is durable.
 	walTrunc func(seq uint64) error
+
+	// reqTimeout bounds one-shot handlers (-request-timeout). Streaming
+	// subscribe is exempt: its whole point is an unbounded response. Set
+	// before serving; zero disables the wrapper.
+	reqTimeout time.Duration
 }
+
+// ckptDegradeAfter is how many consecutive checkpoint failures flip the
+// engine into degraded read-only mode. A disk that keeps refusing snapshots
+// will not keep honoring WAL appends for long, and every failed snapshot
+// means an ever-longer WAL tail to replay — refusing new ingest is the
+// defined behavior, not an ever-growing durability debt.
+const ckptDegradeAfter = 3
 
 type subEntry struct {
 	id   int
@@ -81,16 +95,35 @@ type subEntry struct {
 // NewServer wraps the engine in the HTTP front-end.
 func NewServer(e *core.Engine) *Server {
 	s := &Server{engine: e, subs: make(map[int]*subEntry), mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/relations", s.handleRegister)
-	s.mux.HandleFunc("POST /v1/relations/{name}/events", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
-	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
-	s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubscriptions)
-	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.handleUnsubscribe)
-	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/relations", s.timed(s.handleRegister))
+	s.mux.HandleFunc("POST /v1/relations/{name}/events", s.timed(s.handleIngest))
+	s.mux.HandleFunc("POST /v1/heartbeat", s.timed(s.handleHeartbeat))
+	s.mux.HandleFunc("GET /v1/query", s.timed(s.handleQuery))
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe) // streaming: never timed
+	s.mux.HandleFunc("GET /v1/subscriptions", s.timed(s.handleSubscriptions))
+	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.timed(s.handleUnsubscribe))
+	s.mux.HandleFunc("POST /v1/checkpoint", s.timed(s.handleCheckpoint))
+	s.mux.HandleFunc("GET /v1/healthz", s.timed(s.handleHealthz))
 	return s
+}
+
+// SetRequestTimeout bounds every one-shot handler to d (-request-timeout):
+// past the deadline the client gets a 503 and the handler's request context
+// is canceled. The streaming subscribe endpoint is exempt. d <= 0 disables
+// the bound. Call before serving traffic.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.reqTimeout = d }
+
+// timed wraps a one-shot handler with the request deadline, consulted at
+// request time so SetRequestTimeout works after route registration.
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.reqTimeout
+		if d <= 0 {
+			h(w, r)
+			return
+		}
+		http.TimeoutHandler(h, d, `{"error":"request timed out"}`).ServeHTTP(w, r)
+	}
 }
 
 // EnableCheckpoint turns on durable checkpointing to the given file path
@@ -122,7 +155,14 @@ func (s *Server) CheckpointNow() (int64, error) {
 		s.mu.Lock()
 		s.ckptFails++
 		s.ckptLastErr = err
+		fails := s.ckptFails
 		s.mu.Unlock()
+		// Persistent snapshot failure is a durability emergency: flip the
+		// engine into degraded read-only mode so it refuses acks it may not
+		// be able to honor, instead of growing an unbounded WAL tail.
+		if fails >= ckptDegradeAfter {
+			s.engine.EnterDegraded(fmt.Errorf("%d consecutive checkpoint failures, last: %w", fails, err))
+		}
 		return 0, err
 	}
 	var truncErr error
@@ -135,6 +175,15 @@ func (s *Server) CheckpointNow() (int64, error) {
 	s.ckptFails = 0
 	s.ckptLastErr = truncErr // usually nil; kept visible without counting as a checkpoint failure
 	s.mu.Unlock()
+	// A successful snapshot is evidence the disk recovered; try to reopen
+	// ingest. ClearDegraded proves writability with a durable WAL probe and
+	// keeps the engine degraded if the log is still sick, so this is safe
+	// to attempt unconditionally.
+	if s.engine.Degraded() != nil {
+		if err := s.engine.ClearDegraded(); err == nil {
+			log.Printf("serve: degraded mode cleared after successful checkpoint")
+		}
+	}
 	return n, nil
 }
 
@@ -201,6 +250,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// writeCommitErr routes a failed commit-path request (register, ingest,
+// heartbeat). A degraded engine is overload/fault shedding, not a client
+// mistake: 503 with Retry-After tells well-behaved clients to back off and
+// retry once the operator (or a successful checkpoint) clears the fault.
+// Anything else keeps the handler's usual status.
+func writeCommitErr(w http.ResponseWriter, fallback int, err error) {
+	if errors.Is(err, core.ErrDegraded) {
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeErr(w, fallback, err)
 }
 
 // parseKind maps a wire type name to a value kind.
@@ -365,7 +428,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeCommitErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "kind": req.Kind})
@@ -409,7 +472,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// AppendLog validates and applies the whole batch atomically and
 	// routes it to standing queries in commit order.
 	if err := s.engine.AppendLog(name, log); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeCommitErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"appended": len(log)})
@@ -424,9 +487,9 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.engine.Heartbeat(req.Ptime); err != nil {
-		// Only a write-ahead-log append can fail here; the heartbeat was
-		// suppressed, so refusing the request keeps ack == durable.
-		writeErr(w, http.StatusInternalServerError, err)
+		// Only a write-ahead-log append (or degraded mode) can fail here;
+		// the heartbeat was suppressed, so refusing keeps ack == durable.
+		writeCommitErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ptime": req.Ptime})
@@ -732,6 +795,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ok": true, "liveSessions": s.engine.LiveSessions(),
 		"liveSubscribers": s.engine.LiveSubscribers(),
 		"checkpointing":   s.ckptPath != "",
+	}
+	// Degraded read-only mode: the process is alive (ok stays true — reads
+	// and standing queries keep serving) but ingest is refused until the
+	// durability fault clears. status + cause let an operator see why every
+	// write is bouncing with 503 without grepping logs.
+	if derr := s.engine.Degraded(); derr != nil {
+		out["status"] = "degraded"
+		out["degraded"] = true
+		out["degradedCause"] = derr.Error()
+	} else {
+		out["status"] = "ok"
+		out["degraded"] = false
 	}
 	// Sharded fan-out health: per-shard queue depth and apply lag, read
 	// lock-free so the probe stays responsive while a shard is parked on a

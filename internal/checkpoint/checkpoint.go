@@ -31,10 +31,10 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
 	"repro/internal/types"
+	"repro/internal/vfs"
 )
 
 // magic identifies a checkpoint stream. Seven bytes so that with the version
@@ -446,13 +446,22 @@ func (d *Decoder) Expect(name string) error {
 // checkpoint that was already reported successful. The write callback
 // receives the open Encoder; the trailer is appended after it returns.
 func WriteFileAtomic(path string, write func(*Encoder) error) (int64, error) {
+	return WriteFileAtomicFS(vfs.Default, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem
+// (fault-injection tests; vfs.Default elsewhere). On any failure the temp
+// file is removed, so an interrupted checkpoint leaves no `.tmp` litter of
+// its own — only a hard crash can, and the serve startup sweep collects
+// those.
+func WriteFileAtomicFS(fsys vfs.FS, path string, write func(*Encoder) error) (int64, error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return 0, err
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	enc := NewEncoder(tmp)
 	if err := write(enc); err != nil {
 		tmp.Close()
@@ -470,18 +479,10 @@ func WriteFileAtomic(path string, write func(*Encoder) error) (int64, error) {
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return 0, err
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return 0, err
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return 0, err
-	}
-	if err := d.Close(); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return 0, err
 	}
 	return size, nil
@@ -490,7 +491,12 @@ func WriteFileAtomic(path string, write func(*Encoder) error) (int64, error) {
 // ReadFile opens a checkpoint file, hands the Decoder to read, and verifies
 // the trailer afterwards.
 func ReadFile(path string, read func(*Decoder) error) error {
-	f, err := os.Open(path)
+	return ReadFileFS(vfs.Default, path, read)
+}
+
+// ReadFileFS is ReadFile through an explicit filesystem.
+func ReadFileFS(fsys vfs.FS, path string, read func(*Decoder) error) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,136 @@
+package checkpoint
+
+// Fault-injection tests for the atomic checkpoint swap: whatever fails —
+// ENOSPC mid-write, a failed fsync, a failed rename — the previous durable
+// checkpoint must survive byte-identical and no temp-file litter may
+// accumulate (a crashed rename leaves at most one temp, which the startup
+// sweep removes; a FAILED write must clean up after itself).
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// writeGood writes a valid checkpoint with a recognizable payload.
+func writeGood(t *testing.T, fsys vfs.FS, path, payload string) {
+	t.Helper()
+	if _, err := WriteFileAtomicFS(fsys, path, func(enc *Encoder) error {
+		enc.String(payload)
+		return enc.Err()
+	}); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+}
+
+// readPayload reads the checkpoint back, verifying the trailer.
+func readPayload(t *testing.T, fsys vfs.FS, path string) string {
+	t.Helper()
+	var got string
+	if err := ReadFileFS(fsys, path, func(dec *Decoder) error {
+		got = dec.String()
+		return dec.Err()
+	}); err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	return got
+}
+
+// tempLitter returns the names of leftover temp files next to path.
+func tempLitter(t *testing.T, path string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var litter []string
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			litter = append(litter, e.Name())
+		}
+	}
+	return litter
+}
+
+// TestAtomicWriteSurvivesInjectedFailures runs the same scenario against
+// every failure point in the swap: old checkpoint intact, no litter,
+// recovery (a plain read) sees the pre-failure state, and a retry after
+// the fault clears succeeds.
+func TestAtomicWriteSurvivesInjectedFailures(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault vfs.Fault
+	}{
+		{"enospc-mid-write", vfs.Fault{Op: vfs.OpWrite, Path: ".tmp", Err: vfs.ErrNoSpace}},
+		{"fsync-fails", vfs.Fault{Op: vfs.OpSync, Path: ".tmp"}},
+		{"rename-fails", vfs.Fault{Op: vfs.OpRename}},
+		{"dir-sync-fails", vfs.Fault{Op: vfs.OpSyncDir}},
+		{"create-fails", vfs.Fault{Op: vfs.OpCreate, Err: vfs.ErrNoSpace}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "checkpoint.ckpt")
+			ffs := vfs.NewFault(vfs.Default)
+			writeGood(t, ffs, path, "old-state")
+
+			ffs.AddFault(tc.fault)
+			_, err := WriteFileAtomicFS(ffs, path, func(enc *Encoder) error {
+				enc.String("new-state")
+				return enc.Err()
+			})
+			if !errors.Is(err, vfs.ErrInjected) {
+				t.Fatalf("faulted write = %v, want ErrInjected", err)
+			}
+			// dir-sync-fails happens AFTER the atomic rename, so the new
+			// state is legitimately in place; every earlier failure must
+			// leave the old checkpoint byte-for-byte intact. Either way the
+			// file is a COMPLETE checkpoint — never a torn hybrid.
+			want := "old-state"
+			if tc.fault.Op == vfs.OpSyncDir {
+				want = "new-state"
+			}
+			if got := readPayload(t, vfs.Default, path); got != want {
+				t.Fatalf("checkpoint after failed swap = %q, want %q", got, want)
+			}
+			// No temp litter on any path (the deferred Remove).
+			if litter := tempLitter(t, path); len(litter) != 0 {
+				t.Fatalf("temp litter after failed swap: %v", litter)
+			}
+
+			ffs.ClearFaults()
+			writeGood(t, ffs, path, "new-state")
+			if got := readPayload(t, vfs.Default, path); got != "new-state" {
+				t.Fatalf("retry after fault cleared: payload = %q", got)
+			}
+		})
+	}
+}
+
+// TestTornCheckpointWriteNeverVisible: a torn write into the temp file must
+// never surface through the checkpoint path — the swap is all-or-nothing,
+// so a reader either sees the complete old state or the complete new one.
+func TestTornCheckpointWriteNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.ckpt")
+	ffs := vfs.NewFault(vfs.Default)
+	writeGood(t, ffs, path, "old-state")
+
+	ffs.AddFault(vfs.Fault{Op: vfs.OpWrite, Path: ".tmp", Nth: 1, TornBytes: 4})
+	if _, err := WriteFileAtomicFS(ffs, path, func(enc *Encoder) error {
+		enc.String("new-state-much-longer-than-four-bytes")
+		return enc.Err()
+	}); err == nil {
+		t.Fatal("torn write must fail the swap")
+	}
+	if got := readPayload(t, vfs.Default, path); got != "old-state" {
+		t.Fatalf("reader saw torn state: %q", got)
+	}
+	if litter := tempLitter(t, path); len(litter) != 0 {
+		t.Fatalf("temp litter after torn write: %v", litter)
+	}
+}

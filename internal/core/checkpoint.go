@@ -63,7 +63,7 @@ func (e *Engine) CheckpointAll(w io.Writer) error {
 // once this call returns, the log may be truncated through that sequence.
 func (e *Engine) CheckpointFile(path string) (int64, uint64, error) {
 	var seq uint64
-	n, err := checkpoint.WriteFileAtomic(path, func(enc *checkpoint.Encoder) error {
+	n, err := checkpoint.WriteFileAtomicFS(e.fs, path, func(enc *checkpoint.Encoder) error {
 		return e.saveAllSeq(enc, &seq)
 	})
 	if err != nil {
@@ -88,7 +88,7 @@ func (e *Engine) RestoreAll(r io.Reader) error {
 
 // RestoreFile is RestoreAll over a checkpoint file written by CheckpointFile.
 func (e *Engine) RestoreFile(path string) error {
-	return checkpoint.ReadFile(path, e.loadAll)
+	return checkpoint.ReadFileFS(e.fs, path, e.loadAll)
 }
 
 // saveCatalog serializes the engine's WAL position and every registered

@@ -25,6 +25,7 @@ import (
 	"repro/internal/sqlparser"
 	"repro/internal/tvr"
 	"repro/internal/types"
+	"repro/internal/vfs"
 )
 
 // Engine is a catalog of registered relations and the query interface over
@@ -49,6 +50,18 @@ type Engine struct {
 	// (both guarded by mu — see wal.go for the ordering argument).
 	wal    CommitLog
 	walSeq uint64
+
+	// fs is the filesystem checkpoints are written through (vfs.Default
+	// unless WithFS overrides it for fault-injection tests).
+	fs vfs.FS
+
+	// Degraded read-only mode (see degraded.go): degraded holds the cause
+	// when ingest is refused, walFails counts consecutive commit-log
+	// failures, degradeAfter is the trip threshold (0 = default). All
+	// guarded by mu.
+	degraded     error
+	walFails     int
+	degradeAfter int
 }
 
 type relation struct {
@@ -87,9 +100,20 @@ func WithShards(n int) Option {
 	return func(e *Engine) { e.shards = n }
 }
 
+// WithFS routes the engine's checkpoint I/O through fsys instead of the
+// real filesystem — the fault-injection seam (the WAL has its own FS in
+// wal.Options; this covers CheckpointFile/RestoreFile).
+func WithFS(fsys vfs.FS) Option {
+	return func(e *Engine) {
+		if fsys != nil {
+			e.fs = fsys
+		}
+	}
+}
+
 // NewEngine creates an empty engine.
 func NewEngine(opts ...Option) *Engine {
-	e := &Engine{rels: make(map[string]*relation), gateMin: -1}
+	e := &Engine{rels: make(map[string]*relation), gateMin: -1, fs: vfs.Default}
 	for _, o := range opts {
 		o(e)
 	}
@@ -126,6 +150,9 @@ func (e *Engine) register(name string, schema *types.Schema, unbounded bool) err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.degradedLocked(); err != nil {
+		return err
+	}
 	key := strings.ToLower(name)
 	if _, dup := e.rels[key]; dup {
 		return fmt.Errorf("core: relation %q already registered", name)
@@ -193,6 +220,9 @@ func (e *Engine) append(name string, ev tvr.Event) error {
 func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.degradedLocked(); err != nil {
+		return err
+	}
 	rel, ok := e.rels[strings.ToLower(name)]
 	if !ok {
 		return fmt.Errorf("core: relation %q not registered", name)

@@ -194,6 +194,9 @@ func (e *Engine) Heartbeat(pt types.Time) error {
 	return e.live.AdvanceWith(pt, func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		if err := e.degradedLocked(); err != nil {
+			return err
+		}
 		return e.walAppendLocked(func(enc *checkpoint.Encoder) error {
 			enc.String(walRecHeartbeat)
 			enc.Time(pt)

@@ -36,6 +36,7 @@ const (
 	walRecPublish   = "P" // one committed changelog batch on one relation
 	walRecHeartbeat = "H" // processing-time advance across all sessions
 	walRecRegister  = "R" // relation registration (stream or table)
+	walRecNoop      = "N" // durable no-op, the degraded-recovery probe
 )
 
 // AttachWAL starts logging every subsequent commit to l. Attach after
@@ -73,7 +74,9 @@ func (e *Engine) walAppendLocked(write func(*checkpoint.Encoder) error) error {
 		return nil
 	}
 	seq := e.walSeq + 1
-	if err := e.wal.Append(seq, write); err != nil {
+	err := e.wal.Append(seq, write)
+	e.noteWALResultLocked(err)
+	if err != nil {
 		return fmt.Errorf("core: write-ahead log append: %w", err)
 	}
 	e.walSeq = seq
@@ -121,6 +124,8 @@ func (e *Engine) ReplayWALRecord(seq uint64, dec *checkpoint.Decoder) error {
 		err = e.Heartbeat(rec.pt)
 	case walRecRegister:
 		err = e.register(rec.name, rec.schema, rec.unbounded)
+	case walRecNoop:
+		// A degraded-recovery probe: durable by design, applies nothing.
 	}
 	if err != nil {
 		return fmt.Errorf("core: replaying WAL record %d: %w", seq, err)
@@ -158,6 +163,8 @@ func decodeWALRecord(dec *checkpoint.Decoder) (walRecord, error) {
 			return rec, err
 		}
 		rec.schema = schema
+	case walRecNoop:
+		// No body.
 	default:
 		return rec, fmt.Errorf("unknown record kind %q", rec.kind)
 	}

@@ -326,10 +326,10 @@ func (e *Executor) Buffered() int { return e.buffer.Len() }
 // guaranteed, matching STREAM's unspecified tie order).
 type tupleHeap []Tuple
 
-func (h tupleHeap) Len() int            { return len(h) }
-func (h tupleHeap) Less(i, j int) bool  { return h[i].TS < h[j].TS }
-func (h tupleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *tupleHeap) Push(x any)         { *h = append(*h, x.(Tuple)) }
+func (h tupleHeap) Len() int           { return len(h) }
+func (h tupleHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
+func (h tupleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tupleHeap) Push(x any)        { *h = append(*h, x.(Tuple)) }
 func (h *tupleHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -174,7 +174,7 @@ func TestAggregateLateDataAndCleanup(t *testing.T) {
 	log := tvr.Changelog{
 		tvr.InsertEvent(1, row(1, 1, 100)),
 		tvr.InsertEvent(2, row(2, 1, 200)),
-		tvr.WatermarkEvent(3, 150), // completes the ts=100 group
+		tvr.WatermarkEvent(3, 150),         // completes the ts=100 group
 		tvr.InsertEvent(4, row(3, 1, 100)), // late: dropped
 		tvr.InsertEvent(5, row(4, 1, 200)), // on time: still counts
 	}

@@ -370,13 +370,13 @@ func (d *distinctOp) stats(s *Stats) { s.StateRows += len(d.counts) }
 // watermarks min-merge, heartbeats deduplicate, and Finish propagates only
 // after every port finished.
 type mergingSink struct {
-	out        sink
-	inputs     int
-	finished   int
-	wms        []types.Time
-	mergedWM   types.Time
-	lastHB     types.Time
-	hasHB      bool
+	out         sink
+	inputs      int
+	finished    int
+	wms         []types.Time
+	mergedWM    types.Time
+	lastHB      types.Time
+	hasHB       bool
 	onWatermark func(wm types.Time, ptime types.Time) error
 }
 
@@ -469,10 +469,10 @@ func (u *unionOp) Finish() error { return nil }
 // the output multiplicity function on every change.
 type setOp struct {
 	*mergingSink
-	op       func(l, r int) int
-	leftN    map[string]int
-	rightN   map[string]int
-	outN     map[string]int
+	op        func(l, r int) int
+	leftN     map[string]int
+	rightN    map[string]int
+	outN      map[string]int
 	rowsByKey map[string]types.Row
 }
 

@@ -1,0 +1,50 @@
+package exec
+
+// White-box tests for the partition-worker panic boundary: a panicking
+// operator inside one partition's round must surface as a *PanicError on
+// the round's error path — failing that query — instead of unwinding the
+// worker goroutine and killing the process.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCapturePanic(t *testing.T) {
+	if err := CapturePanic(nil); err != nil {
+		t.Fatalf("nil recover value must map to nil, got %v", err)
+	}
+	err := CapturePanic("boom")
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("CapturePanic = %T, want *PanicError", err)
+	}
+	if perr.Value != "boom" {
+		t.Fatalf("Value = %v, want boom", perr.Value)
+	}
+	if len(perr.Stack) == 0 {
+		t.Fatal("stack not captured")
+	}
+	if !strings.Contains(perr.Error(), "panic: boom") {
+		t.Fatalf("Error() = %q", perr.Error())
+	}
+}
+
+// TestDrainRoundCapturesPanic drives a round through a chain whose state
+// is broken (nil tag sink — the kind of invariant violation an operator
+// bug produces) and requires the panic back as an ordinary error.
+func TestDrainRoundCapturesPanic(t *testing.T) {
+	defer func() {
+		if v := recover(); v != nil {
+			t.Fatalf("panic escaped drainRound: %v", v)
+		}
+	}()
+	c := &partChain{tag: &tagSink{}} // scanOps empty: any delivery panics
+	var buf []taggedEvent
+	err := c.drainRound([]delivery{{scan: 0}}, &buf)
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("drainRound = %v (%T), want *PanicError", err, err)
+	}
+}

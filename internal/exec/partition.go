@@ -169,13 +169,25 @@ type workerRound struct {
 // work processes rounds until the inbox channel closes. All chain operator
 // state is touched only between an in-receive and the matching out-send, so
 // the channel hand-offs order memory accesses between worker and driver.
+// A panicking operator is caught here and surfaced as the round's error —
+// the driver fails the query through the normal error path instead of the
+// panic unwinding the process.
 func (c *partChain) work(w *partWorker) {
 	for r := range w.in {
-		c.tag.buf = r.buf
-		r.err = c.drain(r.inbox)
-		r.buf = c.tag.buf
+		r.err = c.drainRound(r.inbox, &r.buf)
 		w.out <- r
 	}
+}
+
+func (c *partChain) drainRound(inbox []delivery, buf *[]taggedEvent) (err error) {
+	defer func() {
+		if perr := CapturePanic(recover()); perr != nil {
+			err = perr
+		}
+		*buf = c.tag.buf
+	}()
+	c.tag.buf = *buf
+	return c.drain(inbox)
 }
 
 // delivery is one unit of driver work: push one event into one scan operator

@@ -312,7 +312,7 @@ func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) err
 			if sess == nil || !sess.Matches(name) {
 				continue
 			}
-			if err := sess.IngestLog(batch); err != nil {
+			if err := safeApply(sess, func(s *Session) error { return s.IngestLog(batch) }); err != nil {
 				m.removeLocked(id)
 			}
 		}
@@ -352,7 +352,7 @@ func (m *Manager) AdvanceWith(pt types.Time, commit func() error) error {
 			if sess == nil {
 				continue
 			}
-			if err := sess.Advance(pt); err != nil {
+			if err := safeApply(sess, func(s *Session) error { return s.Advance(pt) }); err != nil {
 				m.removeLocked(id)
 			}
 		}
@@ -392,7 +392,7 @@ func (m *Manager) fanOutLocked(seq uint64, match func(*Session) bool, apply func
 		sessions := sessions
 		m.pool.Enqueue(sh, seq, func() {
 			for _, sess := range sessions {
-				if err := apply(sess); err != nil {
+				if err := safeApply(sess, apply); err != nil {
 					// The session refused the delivery (canceled,
 					// dropped, or failed): unregister it without
 					// blocking this worker on the manager lock.
@@ -401,6 +401,22 @@ func (m *Manager) fanOutLocked(seq uint64, match func(*Session) bool, apply func
 			}
 		})
 	}
+}
+
+// safeApply is the fan-out's last-resort panic boundary. An operator panic
+// is already converted into the session's terminal error inside the
+// session (see Session.feedDriver); this catches anything that escapes the
+// delivery path so it fails the one session it came from instead of
+// unwinding the committing goroutine or a shard worker and killing the
+// process. Disjoint sessions on the same shard keep their deliveries.
+func safeApply(sess *Session, apply func(*Session) error) (err error) {
+	defer func() {
+		if perr := exec.CapturePanic(recover()); perr != nil {
+			sess.setErr(perr)
+			err = perr
+		}
+	}()
+	return apply(sess)
 }
 
 // Quiesce blocks until every commit acknowledged before the call has been

@@ -304,7 +304,13 @@ func (s *Session) closeSessionLocked(err error) {
 	}
 	if !s.closed {
 		s.closed = true
-		s.driver.Close() //nolint:errcheck
+		// A driver being closed *because* it panicked may well panic
+		// again out of its half-unwound operator state; the session is
+		// already terminal either way.
+		func() {
+			defer func() { recover() }() //nolint:errcheck
+			s.driver.Close()             //nolint:errcheck
+		}()
 	}
 }
 
@@ -326,11 +332,36 @@ func (s *Session) IngestLog(batch []exec.Source) error {
 	for _, src := range batch {
 		s.eventsIn.Add(int64(len(src.Log)))
 	}
-	if err := s.driver.Feed(batch); err != nil {
+	if err := s.feedDriver(batch); err != nil {
 		s.failFeed(err)
 		return err
 	}
 	return s.deliver()
+}
+
+// feedDriver and advanceDriver are the operator panic boundary: a panic in
+// a standing pipeline (serial operators run on the ingesting goroutine;
+// the partitioned tail runs inside Feed) becomes this session's terminal
+// error — subscribers observe it through Err() with the panic value and
+// stack — instead of unwinding the committing goroutine or a shard worker
+// and killing the process. The driver holds only this session's state, so
+// abandoning it mid-panic corrupts nothing shared.
+func (s *Session) feedDriver(batch []exec.Source) (err error) {
+	defer func() {
+		if perr := exec.CapturePanic(recover()); perr != nil {
+			err = perr
+		}
+	}()
+	return s.driver.Feed(batch)
+}
+
+func (s *Session) advanceDriver(pt types.Time) (err error) {
+	defer func() {
+		if perr := exec.CapturePanic(recover()); perr != nil {
+			err = perr
+		}
+	}()
+	return s.driver.Advance(pt)
 }
 
 // Advance moves the standing pipeline's processing-time clock to pt, firing
@@ -341,7 +372,7 @@ func (s *Session) Advance(pt types.Time) error {
 	if s.isClosed() {
 		return s.terminalErr()
 	}
-	if err := s.driver.Advance(pt); err != nil {
+	if err := s.advanceDriver(pt); err != nil {
 		s.failFeed(err)
 		return err
 	}

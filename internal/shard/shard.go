@@ -105,7 +105,7 @@ type worker struct {
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for t := range w.tasks {
-		t.Apply()
+		runTask(t)
 		w.lastSeq.Store(t.Seq)
 		w.mu.Lock()
 		w.applied.Add(1)
@@ -116,6 +116,17 @@ func (w *worker) run(wg *sync.WaitGroup) {
 	w.done = true
 	w.cond.Broadcast()
 	w.mu.Unlock()
+}
+
+// runTask is the worker's last-resort panic backstop. The fan-out layer
+// (internal/live) converts per-session panics to session errors before
+// they reach the task boundary; anything that still escapes must not kill
+// the worker goroutine — a dead worker would silently wedge its shard's
+// queue and every drain barrier behind it. The sequence point is still
+// recorded by the caller, so barriers keep advancing.
+func runTask(t Task) {
+	defer func() { recover() }() //nolint:errcheck
+	t.Apply()
 }
 
 // waitApplied blocks until the worker has applied at least target tasks (or

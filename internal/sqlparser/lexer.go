@@ -64,7 +64,7 @@ func (e *SyntaxError) Error() string {
 }
 
 // Lex tokenizes a SQL text. It supports identifiers (optionally
-// double-quoted), numbers, single-quoted strings with '' escaping, line
+// double-quoted), numbers, single-quoted strings with ” escaping, line
 // comments (--), block comments (/* */), and multi-character operators
 // (<=, >=, <>, !=, =>, ||).
 func Lex(input string) ([]Token, error) {

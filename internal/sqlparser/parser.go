@@ -33,7 +33,7 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos] }
 func (p *parser) peek2() Token {
 	if p.pos+1 < len(p.toks) {
 		return p.toks[p.pos+1]

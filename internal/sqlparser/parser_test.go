@@ -213,9 +213,9 @@ WHERE
 
 func TestParseEmitVariants(t *testing.T) {
 	cases := []struct {
-		sql            string
-		stream, wm     bool
-		delay          types.Duration
+		sql        string
+		stream, wm bool
+		delay      types.Duration
 	}{
 		{"SELECT a FROM t EMIT STREAM", true, false, 0},
 		{"SELECT a FROM t EMIT AFTER WATERMARK", false, true, 0},

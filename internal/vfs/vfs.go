@@ -1,0 +1,116 @@
+// Package vfs is the filesystem seam the durability layer does its I/O
+// through. internal/wal and internal/checkpoint never call the os package
+// directly; they go through an FS so that tests can substitute a FaultFS
+// (fault.go) that injects scripted disk failures — a failed fsync, ENOSPC
+// mid-write, a torn write that persists only a prefix, or a hard crash
+// point after which every operation fails — and counts every operation so
+// a soak can enumerate crash points exhaustively.
+//
+// The interface is deliberately small: exactly the operations the WAL and
+// checkpoint writers perform. OS is the passthrough implementation and the
+// default everywhere, so production behavior and all existing golden files
+// are untouched by the seam.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the durability layer uses. Sync and
+// Truncate are first-class because the WAL's correctness argument is built
+// on which bytes were covered by a successful fsync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	io.ReaderAt
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file's data (and metadata) to stable storage.
+	Sync() error
+	// Truncate changes the size of the file.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem operations the durability layer performs. Every
+// method mirrors its os package counterpart.
+type FS interface {
+	// OpenFile is the generalized open call (os.OpenFile).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens the named file for reading (os.Open).
+	Open(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames (moves) oldpath to newpath (os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove removes the named file (os.Remove).
+	Remove(name string) error
+	// MkdirAll creates the named directory and any missing parents
+	// (os.MkdirAll).
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir reads the named directory and returns its entries sorted
+	// by filename (os.ReadDir).
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat returns the FileInfo for the named file (os.Stat).
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs the directory itself, making directory operations
+	// (create/rename/remove of entries) durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS backed by the real os package. The zero value
+// is ready to use; vfs.Default is the canonical instance.
+type OS struct{}
+
+// Default is the real-filesystem FS every constructor defaults to when no
+// FS option is given.
+var Default FS = OS{}
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+// SyncDir opens the directory read-only and fsyncs it, the POSIX idiom for
+// making a rename/create/remove of an entry durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

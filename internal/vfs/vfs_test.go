@@ -1,0 +1,295 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mustWrite writes through f, failing the test on error.
+func mustWrite(t *testing.T, f File, p string) {
+	t.Helper()
+	if _, err := f.Write([]byte(p)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readBack(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back %s: %v", path, err)
+	}
+	return string(b)
+}
+
+// TestOSPassthrough exercises the real-filesystem implementation end to
+// end: the durability layer's behavior on OS must be indistinguishable
+// from direct os package calls.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Default
+
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(dir, "sub", "a.txt")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	mustWrite(t, f, "hello")
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if f.Name() != path {
+		t.Fatalf("Name = %q, want %q", f.Name(), path)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := readBack(t, path); got != "hell" {
+		t.Fatalf("content = %q, want %q", got, "hell")
+	}
+
+	moved := filepath.Join(dir, "sub", "b.txt")
+	if err := fsys.Rename(path, moved); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fsys.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if _, err := fsys.Stat(moved); err != nil {
+		t.Fatalf("Stat after rename: %v", err)
+	}
+	ents, err := fsys.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Remove(moved); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+
+	tmp, err := fsys.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	tmp.Close()
+	if err := fsys.Remove(tmp.Name()); err != nil {
+		t.Fatalf("Remove temp: %v", err)
+	}
+}
+
+// TestFaultNth: a rule with Nth fires on exactly the Nth matching
+// operation, then is spent.
+func TestFaultNth(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	ffs.AddFault(Fault{Op: OpSync, Nth: 2})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 should pass (rule spent): %v", err)
+	}
+}
+
+// TestFaultPersistent: a rule with neither AtOp nor Nth fires on every
+// match until ClearFaults — the "disk is broken until fixed" model the
+// degraded-mode tests build on.
+func TestFaultPersistent(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	ffs.AddFault(Fault{Op: OpSync, Err: errors.New("EIO")})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); err == nil {
+			t.Fatalf("sync %d should fail persistently", i)
+		}
+	}
+	ffs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after ClearFaults: %v", err)
+	}
+}
+
+// TestFaultPathAndAtOp: Path matches by substring and AtOp by the global
+// counted-op index, so a soak can target "the 7th state-changing op".
+func TestFaultPathAndAtOp(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	// Op 1 = create a, op 2 = write a, op 3 = create b, op 4 = write b.
+	ffs.AddFault(Fault{AtOp: 4})
+	ffs.AddFault(Fault{Op: OpWrite, Path: "never-matches"})
+
+	a, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	mustWrite(t, a, "x")
+	b, err := ffs.OpenFile(filepath.Join(dir, "b"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Write([]byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 4 = %v, want ErrInjected", err)
+	}
+	if _, err := b.Write([]byte("y")); err != nil {
+		t.Fatalf("op 5 should pass (AtOp spent): %v", err)
+	}
+	if got := readBack(t, filepath.Join(dir, "b")); got != "y" {
+		t.Fatalf("b content = %q: failed write must persist nothing", got)
+	}
+}
+
+// TestTornWrite: a TornBytes rule persists exactly the prefix, models a
+// power cut mid-write.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	ffs.AddFault(Fault{Op: OpWrite, Nth: 1, TornBytes: 3})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write reported %d bytes, want 3", n)
+	}
+	f.Close()
+	if got := readBack(t, filepath.Join(dir, "a")); got != "hel" {
+		t.Fatalf("content = %q, want torn prefix %q", got, "hel")
+	}
+}
+
+// TestWriteBudget: ENOSPC after K bytes, with the partial prefix that fit
+// persisted — the classic full-disk signature.
+func TestWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetWriteBudget(5)
+	mustWrite(t, f, "abc") // 3 of 5
+	if _, err := f.Write([]byte("defg")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-budget write = %v, want ErrNoSpace", err)
+	}
+	if _, err := f.Write([]byte("h")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write on full disk = %v, want ErrNoSpace", err)
+	}
+	f.Close()
+	if got := readBack(t, filepath.Join(dir, "a")); got != "abcde" {
+		t.Fatalf("content = %q, want exactly the 5 budgeted bytes %q", got, "abcde")
+	}
+	ffs.SetWriteBudget(-1)
+	g, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, g, "!")
+	g.Close()
+}
+
+// TestCrashAfter: ops up to the crash point succeed, everything after —
+// reads included — fails with ErrCrashed and leaves no on-disk trace, so
+// the directory is frozen at that I/O interleaving.
+func TestCrashAfter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	ffs.CrashAfter(2) // create + one write survive
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, "ok")
+	if _, err := f.Write([]byte("lost")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v, want ErrCrashed", err)
+	}
+	if _, err := ffs.Open(filepath.Join(dir, "a")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() should report true")
+	}
+	f.Close()
+	if got := readBack(t, filepath.Join(dir, "a")); got != "ok" {
+		t.Fatalf("content = %q: the crash point froze the file at %q", got, "ok")
+	}
+	// Recovery runs over the same directory with a clean fs.
+	if got := readBack(t, filepath.Join(dir, "a")); got != "ok" {
+		t.Fatalf("frozen content changed: %q", got)
+	}
+}
+
+// TestOpCounting: the op counter is the soak's enumeration domain; it must
+// count attempts (including failed ones) deterministically.
+func TestOpCounting(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(Default)
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, "x")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := ffs.Ops(); got != 5 {
+		t.Fatalf("Ops = %d, want 5 (create, write, sync, rename, syncdir)", got)
+	}
+	for op, want := range map[Op]int{OpCreate: 1, OpWrite: 1, OpSync: 1, OpRename: 1, OpSyncDir: 1} {
+		if got := ffs.OpCount(op); got != want {
+			t.Fatalf("OpCount(%s) = %d, want %d", op, got, want)
+		}
+	}
+	// Reads are free: they are not crash points.
+	g, err := ffs.Open(filepath.Join(dir, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := g.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if got := ffs.Ops(); got != 5 {
+		t.Fatalf("Ops after read = %d, want 5 (reads uncounted)", got)
+	}
+}

@@ -1,0 +1,272 @@
+package wal
+
+// Fault-injection tests: the WAL's I/O-failure hardening exercised through
+// a vfs.FaultFS. Each test scripts a specific disk fault — a torn append, a
+// failed fsync, ENOSPC during segment rotation — and asserts the log's
+// contract: a refused commit is never acknowledged, an acknowledged commit
+// is never lost, and after the fault clears the log either resumes in
+// place (append-safe failures) or resumes via Recover (fsync-gate poison).
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/vfs"
+)
+
+func openFault(t *testing.T, dir string, nextSeq uint64, opts Options) (*Writer, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFault(vfs.Default)
+	opts.FS = ffs
+	w, err := Open(dir, nextSeq, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, ffs
+}
+
+func appendOne(w *Writer, seq uint64) error {
+	return w.Append(seq, func(enc *checkpoint.Encoder) error {
+		enc.String("rec")
+		enc.Uvarint(seq * 7)
+		return enc.Err()
+	})
+}
+
+// TestAppendTornWriteRepaired: a frame write that persists only a prefix is
+// repaired in place — the partial frame is truncated away, the writer stays
+// healthy, and retrying the SAME sequence number succeeds. No acknowledged
+// record is lost, no refused record appears after replay.
+func TestAppendTornWriteRepaired(t *testing.T) {
+	dir := t.TempDir()
+	w, ffs := openFault(t, dir, 1, Options{Mode: SyncAlways})
+	writeRecords(t, w, 1, 3)
+
+	ffs.AddFault(vfs.Fault{Op: vfs.OpWrite, Nth: 1, TornBytes: 5})
+	if err := appendOne(w, 4); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("torn append = %v, want ErrInjected", err)
+	}
+	if w.Sick() != nil {
+		t.Fatalf("torn write must stay append-safe, got poison: %v", w.Sick())
+	}
+	// The refused commit's sequence number was not consumed: the retry
+	// carries the same seq and must land on a clean tail.
+	if err := appendOne(w, 4); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	writeRecords(t, w, 5, 6)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seqs, info := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 6)
+	if info.Torn != "" {
+		t.Fatalf("tail should be clean after in-place repair, got torn: %s", info.Torn)
+	}
+}
+
+// TestFsyncGatePoison: a failed fsync poisons the segment — every further
+// append refuses with the poison error even though the disk "works" again,
+// because a retried fsync on that file could claim durability for pages the
+// kernel already dropped. Recover abandons the segment; appends then resume
+// on a fresh one with no sequence gap.
+func TestFsyncGatePoison(t *testing.T) {
+	dir := t.TempDir()
+	w, ffs := openFault(t, dir, 1, Options{Mode: SyncAlways})
+	writeRecords(t, w, 1, 2)
+
+	ffs.AddFault(vfs.Fault{Op: vfs.OpSync, Err: errors.New("EIO")})
+	if err := appendOne(w, 3); err == nil {
+		t.Fatal("append with failing fsync must not be acknowledged")
+	}
+	if w.Sick() == nil {
+		t.Fatal("failed fsync must poison the writer")
+	}
+	// The fault is gone, but the fsync-gate must hold: this file already
+	// failed one fsync, so nothing on it may be acknowledged again.
+	ffs.ClearFaults()
+	if err := appendOne(w, 3); err == nil {
+		t.Fatal("append on a poisoned writer must refuse even after the disk recovers")
+	}
+	if err := w.Recover(); err != nil {
+		t.Fatalf("recover after fault cleared: %v", err)
+	}
+	if w.Sick() != nil {
+		t.Fatalf("recover must clear the poison latch, got %v", w.Sick())
+	}
+	// seq 3 was never acknowledged, so the retry reuses it — on a fresh
+	// segment file, not the abandoned one.
+	writeRecords(t, w, 3, 5)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 5)
+}
+
+// TestRecoverRefusedWithAckedUnsyncedRecords: under a lax sync policy the
+// writer can hold acknowledged records no fsync has covered. If the log is
+// then poisoned, in-place recovery must refuse — truncating to the durable
+// prefix would silently drop acks — and demand a restart-and-restitch.
+func TestRecoverRefusedWithAckedUnsyncedRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, ffs := openFault(t, dir, 1, Options{Mode: SyncNone})
+	writeRecords(t, w, 1, 3) // acknowledged, never fsynced
+
+	ffs.AddFault(vfs.Fault{Op: vfs.OpSync, Err: errors.New("EIO")})
+	if err := w.Sync(); err == nil {
+		t.Fatal("explicit sync must report the injected failure")
+	}
+	ffs.ClearFaults()
+	if err := w.Recover(); err == nil {
+		t.Fatal("recover must refuse while acknowledged records are unsynced")
+	}
+	if w.Sick() == nil {
+		t.Fatal("writer must stay poisoned after a refused recover")
+	}
+}
+
+// TestENOSPCDuringRotation: the disk fills exactly when the log needs a new
+// segment. The previous segment was sealed (its records are safe), the new
+// segment cannot be created, and the commit is refused cleanly — the log
+// stays append-safe, and once space returns the same sequence number
+// retries onto a fresh segment. No record-less litter survives.
+func TestENOSPCDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: the second record already triggers rotation.
+	w, ffs := openFault(t, dir, 1, Options{Mode: SyncAlways, SegmentBytes: 1})
+	writeRecords(t, w, 1, 2)
+
+	ffs.AddFault(vfs.Fault{Op: vfs.OpCreate, Path: "wal-", Err: vfs.ErrNoSpace})
+	err := appendOne(w, 3)
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("rotation under ENOSPC = %v, want ErrNoSpace", err)
+	}
+	if w.Sick() != nil {
+		t.Fatalf("failed rotation must stay append-safe, got poison: %v", w.Sick())
+	}
+	// Still failing: every retry refuses, never acks.
+	if err := appendOne(w, 3); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("second rotation attempt = %v, want ErrNoSpace", err)
+	}
+	ffs.ClearFaults()
+	if err := appendOne(w, 3); err != nil {
+		t.Fatalf("retry after space freed: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 3)
+}
+
+// TestENOSPCWritingSegmentHeader: rotation creates the file but the header
+// write hits ENOSPC. The aborted segment must be removed (left behind it
+// would shadow the real tail and collide with the retry's O_EXCL create),
+// the commit refused, and the retry succeed once space returns.
+func TestENOSPCWritingSegmentHeader(t *testing.T) {
+	dir := t.TempDir()
+	w, ffs := openFault(t, dir, 1, Options{Mode: SyncAlways, SegmentBytes: 1})
+	writeRecords(t, w, 1, 2)
+
+	// The next write to a segment file is the new segment's header.
+	ffs.AddFault(vfs.Fault{Op: vfs.OpWrite, Path: "wal-", Nth: 1, Err: vfs.ErrNoSpace})
+	if err := appendOne(w, 3); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("header write under ENOSPC = %v, want ErrNoSpace", err)
+	}
+	if w.Sick() != nil {
+		t.Fatalf("aborted rotation must stay append-safe, got poison: %v", w.Sick())
+	}
+	if err := appendOne(w, 3); err != nil {
+		t.Fatalf("retry after transient header ENOSPC: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 3)
+}
+
+// TestOpenTrimsRecordlessTailSegments: a crash (or failed cleanup) can
+// leave the log's tail holding segment files with a header but no records.
+// Open must trim them — they shadow the real tail and hold no acknowledged
+// data — and resume appending where the acknowledged log ends, instead of
+// discarding the entire history (the bug this guards against).
+func TestOpenTrimsRecordlessTailSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Options{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, 1, 4)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash artifact: the next segment was created (full
+	// header, then a torn partial header on a second one) but no record
+	// ever reached either.
+	writeHeaderOnly := func(firstSeq uint64, torn bool) {
+		f, err := os.Create(dir + "/" + segmentName(firstSeq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := []byte(segMagic)
+		hdr = append(hdr, FormatVersion)
+		hdr = append(hdr, byte(firstSeq))
+		if torn {
+			hdr = hdr[:len(segMagic)+1]
+		}
+		if _, err := f.Write(hdr); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	writeHeaderOnly(5, false)
+	writeHeaderOnly(6, true)
+
+	w2, err := Open(dir, 5, Options{Mode: SyncAlways})
+	if err != nil {
+		t.Fatalf("open over record-less tail segments: %v", err)
+	}
+	writeRecords(t, w2, 5, 6)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, info := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 6)
+	if info.Torn != "" {
+		t.Fatalf("log should be clean after trim, got torn: %s", info.Torn)
+	}
+}
+
+// TestSyncAlwaysRetryKeepsContiguity: regression for the ack/rollback
+// ordering — a failed SyncAlways fsync must leave the sequence number
+// unconsumed so the engine's retry of the same seq is not rejected as
+// non-contiguous.
+func TestSyncAlwaysRetryKeepsContiguity(t *testing.T) {
+	dir := t.TempDir()
+	w, ffs := openFault(t, dir, 1, Options{Mode: SyncAlways})
+	writeRecords(t, w, 1, 1)
+
+	ffs.AddFault(vfs.Fault{Op: vfs.OpSync, Nth: 1})
+	if err := appendOne(w, 2); err == nil {
+		t.Fatal("append must fail when its fsync fails")
+	}
+	ffs.ClearFaults()
+	if err := w.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	// The engine retries the same sequence number; before the fix the
+	// writer had already advanced lastSeq and refused this as a duplicate.
+	if err := appendOne(w, 2); err != nil {
+		t.Fatalf("same-seq retry after recover: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := replayAll(t, dir)
+	wantSeqs(t, seqs, 1, 2)
+}

@@ -44,9 +44,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/vfs"
 )
 
 const (
@@ -101,6 +104,10 @@ type Options struct {
 	Mode SyncMode
 	// Interval is the flush period for SyncInterval.
 	Interval time.Duration
+	// FS is the filesystem the log does its I/O through (nil =
+	// vfs.Default, the real filesystem). Tests substitute a vfs.FaultFS
+	// to inject disk failures.
+	FS vfs.FS
 }
 
 // ParseSyncPolicy maps the -wal-sync flag value to Options fields:
@@ -143,15 +150,28 @@ type Stats struct {
 type Writer struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu       sync.Mutex
-	f        *os.File // active segment, nil until the first append (or after a seal)
+	f        vfs.File // active segment, nil until the first append (or after a seal)
 	segStart uint64   // first sequence number of the active segment
 	segBytes int64    // bytes written to the active segment
-	lastSeq  uint64   // last appended sequence number
+	lastSeq  uint64   // last appended (acknowledged) sequence number
 	dirty    bool     // unsynced appended bytes exist
 	closed   bool
-	err      error // sticky background-sync failure, surfaced on the next Append
+	// err is the poison latch (the fsync-gate): set on any failed fsync or
+	// unrepaired partial write, it makes every subsequent Append refuse
+	// cleanly. After a failed fsync the kernel may drop the dirty pages and
+	// clear the error, so a later fsync on the same file can report success
+	// for data that never reached disk — once a file fails to sync, nothing
+	// on it is ever acknowledged again. Recover is the only way out.
+	err error
+
+	// syncedEnd/syncedSeq mark the active segment's durable prefix: the
+	// file offset and last sequence number covered by a successful fsync.
+	// Recover truncates back to exactly this point.
+	syncedEnd int64
+	syncedSeq uint64
 
 	appended int64
 	synced   int64
@@ -182,31 +202,57 @@ func Open(dir string, nextSeq uint64, opts Options) (*Writer, error) {
 	if opts.Mode == SyncInterval && opts.Interval <= 0 {
 		return nil, fmt.Errorf("wal: SyncInterval needs a positive Interval")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.Default
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w := &Writer{dir: dir, opts: opts, lastSeq: nextSeq - 1}
-	segs, err := listSegments(dir)
+	w := &Writer{dir: dir, opts: opts, fs: fsys, lastSeq: nextSeq - 1, syncedSeq: nextSeq - 1}
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(segs) > 0 {
+	// Trim record-less tail segments before deciding how to resume. A
+	// segment with a header (possibly torn) but no valid frame is an
+	// interrupted creation — a crash or I/O failure between the segment's
+	// birth and its first frame. It holds no acknowledged records, and
+	// leaving it in place would both shadow the real tail (the scan below
+	// only inspects the last segment) and collide with the name the next
+	// append wants to create.
+	var res scanResult
+	for len(segs) > 0 {
 		last := segs[len(segs)-1]
-		res, err := scanSegment(last.path, last.firstSeq, nil)
+		res, err = scanSegment(fsys, last.path, last.firstSeq, nil)
 		if err != nil {
 			return nil, err
 		}
+		if res.frames > 0 {
+			break
+		}
+		if err := fsys.Remove(last.path); err != nil {
+			return nil, err
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, err
+		}
+		segs = segs[:len(segs)-1]
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
 		switch {
 		case res.lastSeq >= nextSeq:
 			return nil, fmt.Errorf("wal: %s holds records through seq %d but the engine replayed only through %d — refusing to truncate unreplayed commits",
 				dir, res.lastSeq, nextSeq-1)
 		case res.lastSeq == nextSeq-1:
 			// Resume the tail segment in place, discarding torn bytes.
-			f, err := openSegmentAt(last.path, res.validEnd)
+			f, err := openSegmentAt(fsys, last.path, res.validEnd)
 			if err != nil {
 				return nil, err
 			}
 			w.f, w.segStart, w.segBytes = f, last.firstSeq, res.validEnd
+			w.syncedEnd = res.validEnd
 		default:
 			// Every on-disk record precedes the restored snapshot (a crash
 			// with a lax sync policy can lose an acked WAL suffix the
@@ -214,11 +260,11 @@ func Open(dir string, nextSeq uint64, opts Options) (*Writer, error) {
 			// sequence gap inside the log, so clear it and restart at
 			// nextSeq; the removed records are all covered by the snapshot.
 			for _, s := range segs {
-				if err := os.Remove(s.path); err != nil {
+				if err := fsys.Remove(s.path); err != nil {
 					return nil, err
 				}
 			}
-			if err := syncDir(dir); err != nil {
+			if err := fsys.SyncDir(dir); err != nil {
 				return nil, err
 			}
 		}
@@ -278,17 +324,43 @@ func (w *Writer) Append(seq uint64, write func(*checkpoint.Encoder) error) error
 	// One Write call per frame: the frame is either wholly in the file's
 	// logical content or not started, and a crash mid-write is exactly the
 	// torn tail Replay and Open repair.
-	if _, err := w.f.Write(frame); err != nil {
-		return err
+	prevEnd := w.segBytes
+	if n, err := w.f.Write(frame); err != nil {
+		w.appended += int64(n)
+		return w.failedWriteLocked(prevEnd, err)
 	}
 	w.lastSeq = seq
 	w.segBytes += int64(len(frame))
 	w.appended += int64(len(frame))
 	w.dirty = true
 	if w.opts.Mode == SyncAlways {
-		return w.syncLocked()
+		if err := w.syncLocked(); err != nil {
+			// The frame reached the file but its durability is unknown —
+			// the commit is NOT acknowledged, so the sequence number stays
+			// unconsumed. The writer is already poisoned (syncLocked);
+			// Recover truncates the unacked bytes away.
+			w.lastSeq = seq - 1
+			return err
+		}
 	}
 	return nil
+}
+
+// failedWriteLocked repairs the tail after a short or failed frame write:
+// the partial frame's bytes are truncated away so the segment ends at the
+// last intact frame and the NEXT append (a retry of the same sequence
+// number, or anything else) lands on a clean tail. If the repair itself
+// fails the garbage stays on disk, so the writer poisons itself rather
+// than risk appending after a tear Replay would stop at.
+func (w *Writer) failedWriteLocked(prevEnd int64, cause error) error {
+	if terr := w.f.Truncate(prevEnd); terr == nil {
+		if _, serr := w.f.Seek(prevEnd, io.SeekStart); serr == nil {
+			w.segBytes = prevEnd
+			return fmt.Errorf("wal: append write failed (frame discarded, log still append-safe): %w", cause)
+		}
+	}
+	w.err = fmt.Errorf("wal: append write failed (%v) and the partial frame could not be removed — refusing further appends until Recover", cause)
+	return w.err
 }
 
 // Sync forces an fsync of the active segment.
@@ -306,11 +378,78 @@ func (w *Writer) syncLocked() error {
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
-		return err
+		// fsync-gate: after a failed fsync the dirty pages' fate is
+		// unknown and a retried fsync can succeed without persisting
+		// them, so this file can never vouch for an ack again. Poison the
+		// writer; Recover abandons the segment.
+		w.err = fmt.Errorf("wal: fsync failed — segment poisoned, refusing further appends until Recover: %w", err)
+		return w.err
 	}
 	w.dirty = false
 	w.synced = w.appended
 	w.syncs++
+	w.syncedEnd = w.segBytes
+	w.syncedSeq = w.lastSeq
+	return nil
+}
+
+// Sick reports the writer's poison state: non-nil after a failed fsync or
+// an unrepaired partial write, when every Append refuses. The engine uses
+// it to distinguish a permanently failed log (degrade immediately) from a
+// transient refusal (count and retry).
+func (w *Writer) Sick() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Recover clears the poison latch after the underlying fault is fixed. The
+// active segment is abandoned honoring the fsync-gate — truncated back to
+// its durable prefix (the last successful fsync), fsynced, and sealed or
+// removed — so the next append starts a fresh segment file. Only unacked
+// bytes are discarded; under a lax sync policy acknowledged-but-unsynced
+// records can exist, and then in-place recovery is refused (the acks
+// cannot be honored without the records): restart and re-stitch from the
+// snapshot instead.
+func (w *Writer) Recover() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: writer is closed")
+	}
+	if w.err == nil {
+		return nil
+	}
+	if w.lastSeq > w.syncedSeq {
+		return fmt.Errorf("wal: cannot recover in place: %d acknowledged records were never fsynced — restart and re-stitch from the last snapshot", w.lastSeq-w.syncedSeq)
+	}
+	if w.f != nil {
+		if err := w.f.Truncate(w.syncedEnd); err != nil {
+			return fmt.Errorf("wal: recover: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: recover: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("wal: recover: %w", err)
+		}
+		w.f = nil
+		w.segBytes = w.syncedEnd
+		if w.lastSeq < w.segStart {
+			// The abandoned segment holds no records, only a header.
+			// Remove it: the next append allocates the same name (its
+			// first record is still w.lastSeq+1) and segment creation is
+			// O_EXCL.
+			if err := w.fs.Remove(filepath.Join(w.dir, segmentName(w.segStart))); err != nil {
+				return fmt.Errorf("wal: recover: %w", err)
+			}
+			if err := w.fs.SyncDir(w.dir); err != nil {
+				return fmt.Errorf("wal: recover: %w", err)
+			}
+		}
+	}
+	w.dirty = false
+	w.err = nil
 	return nil
 }
 
@@ -331,7 +470,7 @@ func (w *Writer) TruncateThrough(seq uint64) error {
 			return err
 		}
 	}
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -349,13 +488,13 @@ func (w *Writer) TruncateThrough(seq uint64) error {
 		if w.f != nil && s.firstSeq == w.segStart {
 			break // never remove the active segment
 		}
-		if err := os.Remove(s.path); err != nil {
+		if err := w.fs.Remove(s.path); err != nil {
 			return err
 		}
 		removed = true
 	}
 	if removed {
-		return syncDir(w.dir)
+		return w.fs.SyncDir(w.dir)
 	}
 	return nil
 }
@@ -390,7 +529,7 @@ func (w *Writer) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := 0
-	if segs, err := listSegments(w.dir); err == nil {
+	if segs, err := listSegments(w.fs, w.dir); err == nil {
 		n = len(segs)
 	}
 	return Stats{
@@ -410,16 +549,14 @@ func (w *Writer) sealLocked() error {
 	if w.f == nil {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	if w.dirty {
-		w.dirty = false
-		w.synced = w.appended
-		w.syncs++
+	if err := w.syncLocked(); err != nil {
+		return err // poisoned by syncLocked (fsync-gate)
 	}
 	if err := w.f.Close(); err != nil {
-		return err
+		// The segment is durable but the handle is wedged; treat it like
+		// a sync failure rather than retry on a half-sealed file.
+		w.err = fmt.Errorf("wal: seal failed closing segment — refusing further appends until Recover: %w", err)
+		return w.err
 	}
 	w.f = nil
 	return nil
@@ -429,9 +566,18 @@ func (w *Writer) sealLocked() error {
 // record and makes its directory entry durable.
 func (w *Writer) startSegmentLocked(seq uint64) error {
 	path := filepath.Join(w.dir, segmentName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		// Leftover from an earlier aborted creation whose cleanup failed.
+		// It is only safe to clobber if it holds no acknowledged records.
+		if res, serr := scanSegment(w.fs, path, seq, nil); serr == nil && res.frames == 0 {
+			if rerr := w.fs.Remove(path); rerr == nil {
+				f, err = w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+			}
+		}
+	}
 	if err != nil {
-		return err
+		return fmt.Errorf("wal: segment rotation failed (previous segment sealed, log still append-safe): %w", err)
 	}
 	var hdr bytes.Buffer
 	hdr.WriteString(segMagic)
@@ -439,23 +585,36 @@ func (w *Writer) startSegmentLocked(seq uint64) error {
 	hdr.Write(tmp[:binary.PutUvarint(tmp[:], FormatVersion)])
 	hdr.Write(tmp[:binary.PutUvarint(tmp[:], seq)])
 	if _, err := f.Write(hdr.Bytes()); err != nil {
-		f.Close()
-		return err
+		w.abortSegmentLocked(f, path)
+		return fmt.Errorf("wal: segment rotation failed (previous segment sealed, log still append-safe): %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		w.abortSegmentLocked(f, path)
+		return fmt.Errorf("wal: segment rotation failed (previous segment sealed, log still append-safe): %w", err)
 	}
-	if err := syncDir(w.dir); err != nil {
-		f.Close()
-		return err
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		w.abortSegmentLocked(f, path)
+		return fmt.Errorf("wal: segment rotation failed (previous segment sealed, log still append-safe): %w", err)
 	}
 	w.f = f
 	w.segStart = seq
 	w.segBytes = int64(hdr.Len())
 	w.appended += int64(hdr.Len())
 	w.synced = w.appended
+	w.syncedEnd = w.segBytes
+	w.syncedSeq = w.lastSeq
 	return nil
+}
+
+// abortSegmentLocked disposes of a segment file whose creation failed
+// partway. The file holds no records, but leaving it behind would make the
+// retry's O_EXCL create fail, so removal failure poisons the writer (and
+// Open knows to trim record-less tail segments after a crash).
+func (w *Writer) abortSegmentLocked(f vfs.File, path string) {
+	f.Close()
+	if err := w.fs.Remove(path); err != nil {
+		w.err = fmt.Errorf("wal: aborted segment %s could not be removed — refusing further appends until Recover: %v", path, err)
+	}
 }
 
 func (w *Writer) flushLoop() {
@@ -469,11 +628,10 @@ func (w *Writer) flushLoop() {
 		case <-tick.C:
 			w.mu.Lock()
 			if !w.closed && w.err == nil {
-				if err := w.syncLocked(); err != nil {
-					// Sticky: an Append acked after a failed background
-					// sync would be claiming durability we lost.
-					w.err = fmt.Errorf("wal: background sync failed: %w", err)
-				}
+				// A failure poisons the writer inside syncLocked: an
+				// Append acked after a failed background sync would be
+				// claiming durability we lost.
+				_ = w.syncLocked()
 			}
 			w.mu.Unlock()
 		}
@@ -503,8 +661,14 @@ type ReplayInfo struct {
 // segment, a sequence discontinuity, or a segment header that contradicts
 // the file name. A missing directory is an empty log.
 func Replay(dir string, fn func(seq uint64, dec *checkpoint.Decoder) error) (ReplayInfo, error) {
+	return ReplayFS(vfs.Default, dir, fn)
+}
+
+// ReplayFS is Replay through an explicit filesystem (fault-injection
+// tests; vfs.Default elsewhere).
+func ReplayFS(fsys vfs.FS, dir string, fn func(seq uint64, dec *checkpoint.Decoder) error) (ReplayInfo, error) {
 	var info ReplayInfo
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return info, nil
@@ -517,7 +681,7 @@ func Replay(dir string, fn func(seq uint64, dec *checkpoint.Decoder) error) (Rep
 		if expect != 0 && s.firstSeq != expect {
 			return info, fmt.Errorf("wal: %s starts at seq %d, want %d — log is not contiguous", s.path, s.firstSeq, expect)
 		}
-		res, err := scanSegment(s.path, s.firstSeq, func(seq uint64, payload []byte) error {
+		res, err := scanSegment(fsys, s.path, s.firstSeq, func(seq uint64, payload []byte) error {
 			dec, err := checkpoint.NewDecoder(bytes.NewReader(payload))
 			if err != nil {
 				return fmt.Errorf("wal: %s seq %d: %w", s.path, seq, err)
@@ -562,8 +726,8 @@ func segmentName(firstSeq uint64) string {
 }
 
 // listSegments returns the segment files sorted by first sequence number.
-func listSegments(dir string) ([]segmentFile, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]segmentFile, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -598,9 +762,9 @@ type scanResult struct {
 // reserved for damage no crash can explain: an unreadable file, a
 // valid-CRC frame whose contents contradict the framing, or a sequence
 // discontinuity inside the segment.
-func scanSegment(path string, wantFirst uint64, fn func(seq uint64, payload []byte) error) (scanResult, error) {
+func scanSegment(fsys vfs.FS, path string, wantFirst uint64, fn func(seq uint64, payload []byte) error) (scanResult, error) {
 	var res scanResult
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return res, err
 	}
@@ -695,8 +859,8 @@ func peekSeq(payload []byte) (uint64, error) {
 
 // openSegmentAt opens a segment for appending, discarding everything past
 // validEnd (the torn-tail repair) and making the repair durable.
-func openSegmentAt(path string, validEnd int64) (*os.File, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+func openSegmentAt(fsys vfs.FS, path string, validEnd int64) (vfs.File, error) {
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -734,13 +898,4 @@ func (c *countingReader) ReadByte() (byte, error) {
 		c.n++
 	}
 	return b, err
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

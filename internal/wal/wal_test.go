@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/vfs"
 )
 
 // writeRecords appends records from..to (inclusive) whose payloads are
@@ -72,7 +73,7 @@ func wantSeqs(t *testing.T, got []uint64, from, to uint64) {
 // lastSegment returns the path of the highest-numbered segment file.
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.Default, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments in %s (err=%v)", dir, err)
 	}
@@ -247,7 +248,7 @@ func TestCorruptedSealedSegmentFailsLoudly(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.Default, dir)
 	if err != nil || len(segs) < 2 {
 		t.Fatalf("need sealed segments, have %d (err=%v)", len(segs), err)
 	}

@@ -10,7 +10,7 @@ import (
 func TestTumblePaperExample(t *testing.T) {
 	// Listing 5: bidtime 8:07 with 10-minute windows -> [8:00, 8:10).
 	cases := []struct {
-		t          types.Time
+		t            types.Time
 		wantS, wantE types.Time
 	}{
 		{types.ClockTime(8, 7), types.ClockTime(8, 0), types.ClockTime(8, 10)},
