@@ -13,7 +13,7 @@ BENCH_COUNT ?=
 BENCH_SCALE ?=
 export BENCH_COUNT BENCH_SCALE
 
-.PHONY: all build vet test race race-shard faults bench bench-diff bench-full bench-live bench-recovery verify
+.PHONY: all build vet test race race-shard faults batch-guard bench bench-diff bench-full bench-live bench-recovery verify
 
 all: verify
 
@@ -50,6 +50,16 @@ faults:
 	$(GO) test ./internal/core/ -run 'TestCrashPointSoak|TestTornWriteSoak|TestDegraded' -v -timeout 10m
 	$(GO) test ./internal/exec/ ./internal/live/ -run 'Panic' -v
 	$(GO) test ./cmd/serve/ -run 'TestServeDegradedMode|TestServeRequestTimeout' -v
+
+# Batched-execution guardrails: the re-chunking and round-size invariance
+# properties (any PushBatch chunking of a log, and any partitioned round
+# size, must render byte-identically to per-event push), the 0 allocs/op
+# pin on the keyed steady-state PushBatch, the dispatch-stats accounting
+# test, and a single-iteration BenchmarkBatchPush smoke with -benchmem so
+# an alloc regression on the batch path is visible in the verify output.
+batch-guard:
+	$(GO) test ./internal/exec -run 'TestPushBatchRechunkEquivalence|TestPartitionedRoundSizeInvariance|TestKeyedHotPathAllocFree|TestBatchDispatchStats' -v
+	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkBatchPush -benchtime 1x -benchmem
 
 # Short-mode benchmark harness: asserts serial/partitioned equivalence at
 # reduced scale and refreshes the reduced-scale records
@@ -95,4 +105,4 @@ bench-diff:
 bench-full:
 	NEXMARK_BENCH_STRICT=1 $(GO) test ./internal/nexmark -run TestNexmarkBench -v -timeout 20m
 
-verify: vet build race race-shard faults bench
+verify: vet build race race-shard faults batch-guard bench

@@ -100,26 +100,33 @@ func header(w *os.File, oldRec, newRec *record) {
 // entries, which are disambiguated by name).
 func queryKey(q bench.QueryResult) string { return fmt.Sprintf("%d/%s", q.ID, q.Name) }
 
+// diffQueries prints two deltas per query: the serial-throughput delta (the
+// single-core hot-path number the batching work moves) and the speedup delta
+// (parallel scaling relative to that serial base — a serial win can legally
+// shrink the speedup ratio while every absolute number improves).
 func diffQueries(w *os.File, oldRec, newRec *record) {
 	byKey := make(map[string]bench.QueryResult, len(oldRec.Queries))
 	for _, q := range oldRec.Queries {
 		byKey[queryKey(q)] = q
 	}
-	fmt.Fprintf(w, "%-44s %14s %14s %9s %9s %8s\n",
-		"query", "serial ev/s", "parallel ev/s", "speedup", "baseline", "delta")
+	fmt.Fprintf(w, "%-44s %14s %12s %8s %14s %9s %9s %8s\n",
+		"query", "serial ev/s", "baseline", "delta", "parallel ev/s", "speedup", "baseline", "delta")
 	for _, nq := range newRec.Queries {
 		oq, ok := byKey[queryKey(nq)]
-		line := fmt.Sprintf("%-44.44s %14.0f %14.0f %8.2fx", nq.Name, nq.SerialEventsPerSec, nq.ParallelEventsPerSec, nq.Speedup)
 		if !ok {
-			fmt.Fprintf(w, "%s %9s %8s\n", line, "(new)", "")
+			fmt.Fprintf(w, "%-44.44s %14.0f %12s %8s %14.0f %8.2fx %9s %8s\n",
+				nq.Name, nq.SerialEventsPerSec, "(new)", "", nq.ParallelEventsPerSec, nq.Speedup, "", "")
 			continue
 		}
 		delete(byKey, queryKey(nq))
-		fmt.Fprintf(w, "%s %8.2fx %+7.1f%%\n", line, oq.Speedup, pct(nq.Speedup, oq.Speedup))
+		fmt.Fprintf(w, "%-44.44s %14.0f %12.0f %+7.1f%% %14.0f %8.2fx %8.2fx %+7.1f%%\n",
+			nq.Name, nq.SerialEventsPerSec, oq.SerialEventsPerSec, pct(nq.SerialEventsPerSec, oq.SerialEventsPerSec),
+			nq.ParallelEventsPerSec, nq.Speedup, oq.Speedup, pct(nq.Speedup, oq.Speedup))
 	}
 	for _, oq := range oldRec.Queries {
 		if _, gone := byKey[queryKey(oq)]; gone {
-			fmt.Fprintf(w, "%-44.44s %14s %14s %9s %8.2fx (removed)\n", oq.Name, "-", "-", "-", oq.Speedup)
+			fmt.Fprintf(w, "%-44.44s %14s %12.0f %8s %14s %9s %8.2fx (removed)\n",
+				oq.Name, "-", oq.SerialEventsPerSec, "", "-", "-", oq.Speedup)
 		}
 	}
 }

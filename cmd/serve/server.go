@@ -749,6 +749,9 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 			// Shard placement: which shard worker applies this pipeline's
 			// deliveries, or -1 under the serial fan-out.
 			"shard": st.Shard,
+			// Batching efficiency: mean source events carried per
+			// operator-chain dispatch (1.0 = pure per-event delivery).
+			"dispatches": st.Dispatches, "eventsPerDispatch": st.EventsPerDispatch,
 		})
 	}
 	resp := map[string]any{"subscriptions": out}

@@ -180,6 +180,14 @@ func TestServeEndToEnd(t *testing.T) {
 	if entry["deltasOut"].(float64) != 3 {
 		t.Fatalf("deltasOut = %v, want 3", entry["deltasOut"])
 	}
+	// Batched execution: the standing pipeline reports its dispatch
+	// counters, and a fed pipeline averages at least one event per dispatch.
+	if entry["dispatches"].(float64) <= 0 {
+		t.Fatalf("dispatches = %v, want > 0", entry["dispatches"])
+	}
+	if epd := entry["eventsPerDispatch"].(float64); epd < 1 {
+		t.Fatalf("eventsPerDispatch = %v, want >= 1", epd)
+	}
 	id := int(entry["id"].(float64))
 
 	// Cancel via the API: the stream ends.

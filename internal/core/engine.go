@@ -547,6 +547,10 @@ func (e *Engine) sources(root plan.Node) ([]exec.Source, error) {
 }
 
 // sourcesByName snapshots the recorded changelogs of the named relations.
+// The snapshot caps rather than copies: drivers treat source logs as
+// immutable (the batched feed hands sub-slices of them straight to operator
+// chains), and the three-index slice keeps appends committed after the
+// snapshot from aliasing into this view.
 func (e *Engine) sourcesByName(names []string) ([]exec.Source, error) {
 	var out []exec.Source
 	e.mu.RLock()
@@ -556,9 +560,7 @@ func (e *Engine) sourcesByName(names []string) ([]exec.Source, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: relation %q not found", name)
 		}
-		log := make(tvr.Changelog, len(rel.log))
-		copy(log, rel.log)
-		out = append(out, exec.Source{Name: name, Log: log})
+		out = append(out, exec.Source{Name: name, Log: rel.log[:len(rel.log):len(rel.log)]})
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/plan"
@@ -34,6 +35,19 @@ type aggOp struct {
 	lateDrop int
 	freed    int
 	keyBuf   []byte // reusable group-key encoding buffer
+
+	// Run cache: the group resolved by the previous data event. Consecutive
+	// events for the same key (the common shape inside a batch) compare
+	// encoded keys and skip the map probe entirely. Groups are never removed
+	// from the map (completion only marks them dead), so the cached pointer
+	// stays valid across dispatches and watermarks.
+	prevKey  []byte
+	runGroup *aggGroup
+	runValid bool
+
+	keyScratch  types.Row   // reusable group-key evaluation row
+	emitScratch types.Row   // reusable candidate-output row (reemit)
+	pend        []tvr.Event // per-dispatch output buffer, flushed once
 }
 
 type eventKey struct {
@@ -105,7 +119,9 @@ func (a *aggOp) Open() error {
 	g := a.newGroup(types.Row{})
 	a.groups[""] = g
 	a.order = append(a.order, "")
-	return a.reemit(g, types.MinTime)
+	a.pend = a.pend[:0]
+	a.reemit(g, types.MinTime)
+	return a.flush()
 }
 
 func (a *aggOp) newGroup(keyRow types.Row) *aggGroup {
@@ -124,14 +140,47 @@ func (a *aggOp) complete(keyRow types.Row, wm types.Time) bool {
 }
 
 func (a *aggOp) Push(ev tvr.Event) error {
+	a.pend = a.pend[:0]
+	if err := a.pushEvent(ev); err != nil {
+		return err
+	}
+	return a.flush()
+}
+
+// PushBatch implements batchSink: the whole batch runs through the group
+// machinery with the outputs gathered into the pending buffer and flushed in
+// one downstream dispatch. Consecutive same-key events hit the run cache
+// instead of the group map.
+func (a *aggOp) PushBatch(evs []tvr.Event) error {
+	a.pend = a.pend[:0]
+	for i := range evs {
+		if err := a.pushEvent(evs[i]); err != nil {
+			return err
+		}
+	}
+	return a.flush()
+}
+
+// flush hands the pending outputs downstream in one dispatch.
+func (a *aggOp) flush() error {
+	return pushBatch(a.out, a.pend)
+}
+
+// pushEvent applies one event to group state, appending any output events to
+// the pending buffer.
+func (a *aggOp) pushEvent(ev tvr.Event) error {
 	switch ev.Kind {
 	case tvr.Watermark:
 		return a.onWatermark(ev)
 	case tvr.Heartbeat:
-		return a.out.Push(ev)
+		a.pend = append(a.pend, ev)
+		return nil
 	}
 
-	keyRow := make(types.Row, len(a.keys))
+	if a.keyScratch == nil && len(a.keys) > 0 {
+		a.keyScratch = make(types.Row, len(a.keys))
+	}
+	keyRow := a.keyScratch[:len(a.keys)]
 	for i, k := range a.keys {
 		v, err := k.Eval(ev.Row)
 		if err != nil {
@@ -140,22 +189,29 @@ func (a *aggOp) Push(ev tvr.Event) error {
 		keyRow[i] = v
 	}
 	a.keyBuf = keyRow.AppendKey(a.keyBuf[:0])
-	g, ok := a.groups[string(a.keyBuf)] // allocation-free lookup
-	if ok && g.dead {
+	g := a.runGroup
+	if !a.runValid || !bytes.Equal(a.keyBuf, a.prevKey) {
+		var ok bool
+		g, ok = a.groups[string(a.keyBuf)] // allocation-free lookup
+		if !ok {
+			if a.complete(keyRow, a.wm) {
+				// The group was completed (and freed) before this row
+				// arrived, or arrives late from the start.
+				a.lateDrop++
+				return nil
+			}
+			g = a.newGroup(keyRow)
+			gk := string(a.keyBuf)
+			a.groups[gk] = g
+			a.order = append(a.order, gk)
+		}
+		a.prevKey = append(a.prevKey[:0], a.keyBuf...)
+		a.runGroup = g
+		a.runValid = true
+	}
+	if g.dead {
 		a.lateDrop++
 		return nil
-	}
-	if !ok {
-		if a.complete(keyRow, a.wm) {
-			// The group was completed (and freed) before this row
-			// arrived, or arrives late from the start.
-			a.lateDrop++
-			return nil
-		}
-		g = a.newGroup(keyRow)
-		gk := string(a.keyBuf)
-		a.groups[gk] = g
-		a.order = append(a.order, gk)
 	}
 
 	delta := 1
@@ -179,40 +235,42 @@ func (a *aggOp) Push(ev tvr.Event) error {
 			return err
 		}
 	}
-	return a.reemit(g, ev.Ptime)
+	a.reemit(g, ev.Ptime)
+	return nil
 }
 
-// reemit retracts the group's previous output row and emits the current one.
-// If the output row is unchanged (e.g. a bid below the running MAX), nothing
-// is emitted: the output relation did not change, so its changelog must not
-// either.
-func (a *aggOp) reemit(g *aggGroup, p types.Time) error {
+// reemit retracts the group's previous output row and emits the current one
+// (into the pending buffer). If the output row is unchanged (e.g. a bid below
+// the running MAX), nothing is emitted: the output relation did not change,
+// so its changelog must not either.
+func (a *aggOp) reemit(g *aggGroup, p types.Time) {
+	// The candidate row builds in a reusable scratch: a suppressed reemit
+	// (e.g. a bid below the running MAX) costs no allocation, and an actual
+	// emission clones exactly once.
 	var row types.Row
 	if g.n > 0 || a.global {
-		row = make(types.Row, 0, len(g.keyRow)+len(g.accs))
-		row = append(row, g.keyRow...)
+		row = append(a.emitScratch[:0], g.keyRow...)
 		for _, acc := range g.accs {
 			row = append(row, acc.value())
 		}
+		a.emitScratch = row[:0]
 	}
 	if g.outRow != nil && row != nil && g.outRow.Equal(row) {
-		return nil
+		return
 	}
 	if g.outRow != nil {
-		if err := a.out.Push(tvr.DeleteEvent(p, g.outRow)); err != nil {
-			return err
-		}
+		a.pend = append(a.pend, tvr.DeleteEvent(p, g.outRow))
 		g.outRow = nil
 	}
 	if row == nil {
-		return nil
+		return
 	}
-	g.outRow = row
-	return a.out.Push(tvr.InsertEvent(p, row))
+	g.outRow = row.Clone()
+	a.pend = append(a.pend, tvr.InsertEvent(p, g.outRow))
 }
 
 // onWatermark advances the watermark, completes groups, frees their state,
-// and forwards the watermark downstream.
+// and forwards the watermark downstream (via the pending buffer).
 func (a *aggOp) onWatermark(ev tvr.Event) error {
 	if ev.Wm <= a.wm {
 		return nil
@@ -234,7 +292,8 @@ func (a *aggOp) onWatermark(ev tvr.Event) error {
 			}
 		}
 	}
-	return a.out.Push(ev)
+	a.pend = append(a.pend, ev)
+	return nil
 }
 
 func (a *aggOp) Finish() error { return a.out.Finish() }

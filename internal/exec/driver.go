@@ -34,8 +34,14 @@ type Driver interface {
 	Drain() tvr.Changelog
 	// OutputWatermark is the output relation's current watermark.
 	OutputWatermark() types.Time
-	// Stats reports the pipeline's execution statistics.
+	// Stats reports the pipeline's execution statistics. It walks operator
+	// state (O(aggregate groups)); per-ingest callers that only need the
+	// dispatch counters must use DispatchStats instead.
 	Stats() Stats
+	// DispatchStats returns the cumulative dispatch count and dispatched
+	// event count without touching operator state — cheap enough to call
+	// after every Feed/Advance.
+	DispatchStats() (dispatches, events int64)
 }
 
 var (
@@ -43,13 +49,19 @@ var (
 	_ Driver = (*PartitionedPipeline)(nil)
 )
 
-// forEachMerged merges the batch's per-source changelogs into one
+// forEachMergedRuns merges the batch's per-source changelogs into one
 // ptime-ordered delivery sequence — ties broken by scan registration order,
 // the same tie-break both drivers' one-shot Run uses — and invokes deliver
-// for each event. Events with ptime beyond upTo are discarded. With
-// requireAll set, every scanned source must appear in the batch (the Run
-// contract); otherwise absent sources simply contribute no events.
-func forEachMerged(batch []Source, scanOrder []string, upTo types.Time, requireAll bool, deliver func(name string, ev tvr.Event) error) error {
+// once per maximal run of consecutive events drawn from the same cursor.
+// Concatenating the delivered runs reproduces the per-event merge order
+// exactly; the run grouping only changes the dispatch shape, letting callers
+// hand contiguous log slices to the batch fast path. The delivered slice
+// aliases the source log: callees must not retain or mutate it.
+//
+// Events with ptime beyond upTo are discarded. With requireAll set, every
+// scanned source must appear in the batch (the Run contract); otherwise
+// absent sources simply contribute no events.
+func forEachMergedRuns(batch []Source, scanOrder []string, upTo types.Time, requireAll bool, deliver func(name string, evs []tvr.Event) error) error {
 	bySource := make(map[string]tvr.Changelog, len(batch))
 	for _, s := range batch {
 		bySource[lowered(s.Name)] = s.Log
@@ -68,14 +80,31 @@ func forEachMerged(batch []Source, scanOrder []string, upTo types.Time, requireA
 			}
 			continue
 		}
+		if upTo != types.MaxTime {
+			// Discard the tail beyond the horizon up front (logs are
+			// ptime-ordered, so everything after the first violation goes).
+			cut := len(log)
+			for i := range log {
+				if log[i].Ptime > upTo {
+					cut = i
+					break
+				}
+			}
+			log = log[:cut]
+		}
 		cursors = append(cursors, &cursor{name: name, log: log})
+	}
+	if len(cursors) == 1 {
+		// Single-source fast path: the whole batch is one run.
+		c := cursors[0]
+		if len(c.log) == 0 {
+			return nil
+		}
+		return deliver(c.name, c.log)
 	}
 	for {
 		best := -1
 		for i, c := range cursors {
-			for c.pos < len(c.log) && c.log[c.pos].Ptime > upTo {
-				c.pos = len(c.log) // discard tail beyond the horizon
-			}
 			if c.pos >= len(c.log) {
 				continue
 			}
@@ -87,9 +116,30 @@ func forEachMerged(batch []Source, scanOrder []string, upTo types.Time, requireA
 			return nil
 		}
 		c := cursors[best]
-		ev := c.log[c.pos]
+		start := c.pos
 		c.pos++
-		if err := deliver(c.name, ev); err != nil {
+		// Extend the run while this cursor keeps winning the merge: its next
+		// event must beat every other live cursor under the same
+		// smallest-ptime, earliest-scan-order tie-break.
+		for c.pos < len(c.log) {
+			p := c.log[c.pos].Ptime
+			wins := true
+			for j, o := range cursors {
+				if j == best || o.pos >= len(o.log) {
+					continue
+				}
+				op := o.log[o.pos].Ptime
+				if op < p || (op == p && j < best) {
+					wins = false
+					break
+				}
+			}
+			if !wins {
+				break
+			}
+			c.pos++
+		}
+		if err := deliver(c.name, c.log[start:c.pos:c.pos]); err != nil {
 			return err
 		}
 	}

@@ -29,6 +29,41 @@ type sink interface {
 	Finish() error
 }
 
+// batchSink is the optional batch fast path on the sink contract.
+// PushBatch(evs) must be observably identical to pushing each event in
+// order — batching is a dispatch-shape optimization, never a semantic one —
+// and implementations may not retain or mutate the slice (callers reuse the
+// backing array, and drivers hand down sub-slices of the source logs). The
+// events obey the same non-decreasing ptime contract as Push, and a batch
+// may mix data and control (watermark/heartbeat) events. Operators that
+// don't implement batchSink are fed through the pushBatch adapter, which
+// preserves the one-event semantics exactly.
+type batchSink interface {
+	PushBatch(evs []tvr.Event) error
+}
+
+// pushBatch delivers evs to s, using the batch fast path when the sink opts
+// in and falling back to per-event Push otherwise. Single-event batches take
+// the Push path directly so size-1 dispatch is byte-for-byte the per-event
+// path.
+func pushBatch(s sink, evs []tvr.Event) error {
+	switch len(evs) {
+	case 0:
+		return nil
+	case 1:
+		return s.Push(evs[0])
+	}
+	if bs, ok := s.(batchSink); ok {
+		return bs.PushBatch(evs)
+	}
+	for i := range evs {
+		if err := s.Push(evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // opener is implemented by operators that emit output before any input
 // (constant relations, global aggregates).
 type opener interface {
@@ -79,6 +114,15 @@ type Stats struct {
 	// Path identifies which execution path ran (see the Path* constants),
 	// including the partitioned driver's small-input serial fallback.
 	Path string
+	// Dispatches counts scan deliveries (batched or single) made by the
+	// driver, and DispatchedEvents the events they carried; their ratio is
+	// the average batch size reaching the operators. Neither is part of
+	// checkpointed state — a restored pipeline starts the counters afresh.
+	Dispatches       int64
+	DispatchedEvents int64
+	// EventsPerDispatch is DispatchedEvents/Dispatches (0 when idle): the
+	// observable measure of how much batching the ingest granularity allows.
+	EventsPerDispatch float64
 }
 
 // Pipeline is a compiled, runnable query.
@@ -97,6 +141,9 @@ type Pipeline struct {
 	allOps    []sink               // in build (parent-before-child) order
 	opened    bool
 	closed    bool
+
+	dispatches       int64 // scan deliveries (batched or single)
+	dispatchedEvents int64 // events carried by those deliveries
 
 	// cutHook, when set, intercepts plan nodes at the partitioned
 	// pipeline's exchange frontier: the tail builder uses it to stop the
@@ -295,10 +342,24 @@ func (p *Pipeline) feed(batch []Source, upTo types.Time, requireAll bool) error 
 	if !p.opened || p.closed {
 		return fmt.Errorf("exec: pipeline not accepting input")
 	}
-	return forEachMerged(batch, p.scanOrder, upTo, requireAll, func(name string, ev tvr.Event) error {
-		for _, s := range p.scans[name] {
-			if err := s.Push(ev); err != nil {
-				return err
+	return forEachMergedRuns(batch, p.scanOrder, upTo, requireAll, func(name string, evs []tvr.Event) error {
+		scans := p.scans[name]
+		if len(scans) == 1 {
+			p.dispatches++
+			p.dispatchedEvents += int64(len(evs))
+			return pushBatch(scans[0], evs)
+		}
+		// Several scan operators read this source (a self-join): the serial
+		// order interleaves the scans per event, so a whole-run dispatch to
+		// one scan at a time would reorder deliveries. Fall back to the
+		// per-event path.
+		for _, ev := range evs {
+			for _, s := range scans {
+				p.dispatches++
+				p.dispatchedEvents++
+				if err := s.Push(ev); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -315,6 +376,8 @@ func (p *Pipeline) Advance(pt types.Time) error {
 	hb := tvr.HeartbeatEvent(pt)
 	for _, name := range p.scanOrder {
 		for _, s := range p.scans[name] {
+			p.dispatches++
+			p.dispatchedEvents++
 			if err := s.Push(hb); err != nil {
 				return err
 			}
@@ -361,7 +424,17 @@ func (p *Pipeline) Stats() Stats {
 	}
 	st.Partitions = 1
 	st.Path = PathSerial
+	st.Dispatches = p.dispatches
+	st.DispatchedEvents = p.dispatchedEvents
+	if st.Dispatches > 0 {
+		st.EventsPerDispatch = float64(st.DispatchedEvents) / float64(st.Dispatches)
+	}
 	return st
+}
+
+// DispatchStats returns the dispatch counters without walking operator state.
+func (p *Pipeline) DispatchStats() (dispatches, events int64) {
+	return p.dispatches, p.dispatchedEvents
 }
 
 // Result is a query's materialized output.
@@ -447,19 +520,47 @@ func newCollector(pq *plan.PlannedQuery) *Collector {
 	}
 }
 
-// Push implements sink.
-func (c *Collector) Push(ev tvr.Event) error { return c.PushKeyed(ev, "") }
+// Push implements sink. The relation maintains its bag key via its internal
+// scratch encoder (no per-event key string unless the row is new), and skips
+// the defensive row copy: the collector retains every pushed event in its
+// log anyway, so pushed rows are immutable by contract.
+func (c *Collector) Push(ev tvr.Event) error {
+	switch ev.Kind {
+	case tvr.Insert, tvr.Delete:
+		if err := c.rel.ApplyOwned(ev); err != nil {
+			return err
+		}
+		c.log = append(c.log, ev)
+		c.outN++
+	case tvr.Watermark:
+		if ev.Wm > c.wm {
+			c.wm = ev.Wm
+		}
+	}
+	return nil
+}
+
+// PushBatch implements batchSink: the terminal sink applies the whole batch
+// in one call, saving a dispatch per event.
+func (c *Collector) PushBatch(evs []tvr.Event) error {
+	for i := range evs {
+		if err := c.Push(evs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // PushKeyed is Push with the row's bag key precomputed by the caller. The
 // partitioned driver hashes rows in the worker goroutines, so the serial
 // merge stage can reuse that work instead of re-serializing every output row.
 func (c *Collector) PushKeyed(ev tvr.Event, key string) error {
+	if key == "" {
+		return c.Push(ev)
+	}
 	switch ev.Kind {
 	case tvr.Insert, tvr.Delete:
-		if key == "" {
-			key = ev.Row.Key()
-		}
-		if err := c.rel.ApplyKeyed(ev, key); err != nil {
+		if err := c.rel.ApplyKeyedOwned(ev, key); err != nil {
 			return err
 		}
 		c.log = append(c.log, ev)

@@ -80,6 +80,104 @@ func BenchmarkAggGroupUpdate(b *testing.B) {
 	}
 }
 
+// benchMaxScanPlan is the keyed MAX variant: once every group's running MAX
+// is established, further sub-max pushes are suppressed emissions — the pure
+// group-lookup hot path.
+func benchMaxScanPlan() *plan.PlannedQuery {
+	sch := types.NewSchema(
+		types.Column{Name: "key", Kind: types.KindInt64},
+		types.Column{Name: "price", Kind: types.KindInt64},
+		types.Column{Name: "name", Kind: types.KindString},
+	)
+	scan := &plan.Scan{Name: "s", Sch: sch, Stream: true}
+	return &plan.PlannedQuery{Root: &plan.Aggregate{
+		Input: scan,
+		Keys:  []plan.Scalar{&plan.ColRef{Idx: 0, K: types.KindInt64}},
+		Aggs:  []plan.AggCall{{Kind: plan.AggMax, Arg: &plan.ColRef{Idx: 1, K: types.KindInt64}, K: types.KindInt64}},
+		Sch: types.NewSchema(
+			types.Column{Name: "key", Kind: types.KindInt64},
+			types.Column{Name: "maxPrice", Kind: types.KindInt64},
+		),
+	}}
+}
+
+// batchBenchEvents builds one reusable batch of keyed insert events.
+func batchBenchEvents(n, groups, price int) []tvr.Event {
+	evs := make([]tvr.Event, n)
+	for i := range evs {
+		evs[i] = tvr.InsertEvent(types.Time(i), types.Row{
+			types.NewInt(int64(i % groups)),
+			types.NewInt(int64(price)),
+			types.NewString("abcdefgh"),
+		})
+	}
+	return evs
+}
+
+// BenchmarkBatchPush measures the batched hot path end to end: one PushBatch
+// of 512 events per iteration, against (a) the Q1-shaped stateless chain
+// (filter -> project with integer arithmetic) and (b) the keyed aggregate.
+// ns/op divided by 512 is the per-event cost the serial driver pays once the
+// run merge hands it whole batches.
+func BenchmarkBatchPush(b *testing.B) {
+	shapes := []struct {
+		name string
+		pq   *plan.PlannedQuery
+	}{
+		{"q1-chain", batchChainPlan(b)},
+		{"keyed-agg", benchScanPlan()},
+	}
+	for _, shape := range shapes {
+		shape := shape
+		b.Run(shape.name, func(b *testing.B) {
+			p, err := Compile(shape.pq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Start(); err != nil {
+				b.Fatal(err)
+			}
+			scan := p.scans["s"][0]
+			evs := batchBenchEvents(512, 32, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pushBatch(scan, evs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestKeyedHotPathAllocFree pins the 0-allocs/op property of the keyed
+// aggregate's steady-state lookup: once every group exists and the incoming
+// value does not change the MAX, a PushBatch costs zero heap allocations —
+// key encoding reuses the scratch buffer, the group resolves through the
+// run cache or an allocation-free map lookup, and the suppressed reemit
+// builds its candidate row in reused scratch.
+func TestKeyedHotPathAllocFree(t *testing.T) {
+	pq := benchMaxScanPlan()
+	agg := newAggOp(pq.Root.(*plan.Aggregate), &nullSink{})
+	// Establish every group's MAX at 1000, then measure sub-max pushes.
+	warm := batchBenchEvents(64, 32, 1000)
+	cold := batchBenchEvents(512, 32, 100)
+	if err := agg.PushBatch(warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.PushBatch(cold); err != nil {
+		t.Fatal(err) // also warms pend/scratch capacities
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := agg.PushBatch(cold); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state keyed PushBatch allocates %v allocs/run, want 0", allocs)
+	}
+}
+
 // nullSink discards pushes (isolates the operator under benchmark).
 type nullSink struct{}
 

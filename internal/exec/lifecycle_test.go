@@ -322,6 +322,42 @@ func randomCuts(rng *rand.Rand, pts []types.Time, n int) []types.Time {
 	return cuts
 }
 
+// TestBatchDispatchStats: the batched feed path accounts its dispatches —
+// every source event is delivered exactly once, and feeding the whole log in
+// one batch coalesces far more events per dispatch than per-ptime feeding,
+// without changing the output (TestFeedSplitEquivalence pins the equality).
+func TestBatchDispatchStats(t *testing.T) {
+	e := lifecycleEngine(t)
+	pq := planSQL(t, e, `SELECT auction, price FROM Bid WHERE MOD(auction, 5) = 0`)
+	sources := execSourcesFor(t, e, pq.Root)
+	total := 0
+	for _, s := range sources {
+		total += len(s.Log)
+	}
+	feed := func(cuts []types.Time) exec.Stats {
+		d := compileDriver(t, pq, 1)
+		feedInBatches(t, d, sources, cuts, types.MaxTime)
+		return d.Stats()
+	}
+	coarse := feed(nil) // one Feed call: the whole log is one run
+	fine := feed(splitPoints(sources))
+	for _, st := range []exec.Stats{coarse, fine} {
+		if st.Dispatches <= 0 || st.DispatchedEvents != int64(total) {
+			t.Fatalf("stats = %+v, want Dispatches > 0 and DispatchedEvents = %d", st, total)
+		}
+		if st.EventsPerDispatch < 1 {
+			t.Fatalf("EventsPerDispatch = %v, want >= 1", st.EventsPerDispatch)
+		}
+	}
+	if coarse.EventsPerDispatch <= fine.EventsPerDispatch {
+		t.Fatalf("one-batch feed should coalesce more events per dispatch: coarse %v <= fine %v",
+			coarse.EventsPerDispatch, fine.EventsPerDispatch)
+	}
+	if coarse.Dispatches != 1 {
+		t.Fatalf("single-source whole-log feed took %d dispatches, want 1", coarse.Dispatches)
+	}
+}
+
 // TestLifecycleMisuse: the lifecycle endpoints reject out-of-order use.
 func TestLifecycleMisuse(t *testing.T) {
 	e := lifecycleEngine(t)

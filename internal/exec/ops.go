@@ -21,6 +21,7 @@ type scanOp struct {
 	bounded   bool
 	lastPtime types.Time
 	finished  bool
+	batch     []tvr.Event // asOf filtering scratch, reused across batches
 }
 
 func (s *scanOp) Push(ev tvr.Event) error {
@@ -36,6 +37,26 @@ func (s *scanOp) Push(ev tvr.Event) error {
 		return nil
 	}
 	return s.out.Push(ev)
+}
+
+// PushBatch implements batchSink. Without a snapshot bound the batch passes
+// through untouched (zero copy); with one, surviving events are gathered into
+// a reused scratch slice.
+func (s *scanOp) PushBatch(evs []tvr.Event) error {
+	if last := evs[len(evs)-1].Ptime; last > s.lastPtime {
+		s.lastPtime = last
+	}
+	if s.asOf == nil {
+		return pushBatch(s.out, evs)
+	}
+	s.batch = s.batch[:0]
+	for _, ev := range evs {
+		if ev.Ptime > *s.asOf && ev.Kind != tvr.Heartbeat {
+			continue
+		}
+		s.batch = append(s.batch, ev)
+	}
+	return pushBatch(s.out, s.batch)
 }
 
 func (s *scanOp) Finish() error {
@@ -77,8 +98,9 @@ func (v *valuesOp) Finish() error {
 // predicate is deterministic, inserts and deletes filter identically and
 // retraction consistency is preserved.
 type filterOp struct {
-	out  sink
-	cond plan.Scalar
+	out   sink
+	cond  plan.Scalar
+	batch []tvr.Event // surviving-event scratch, reused across batches
 }
 
 func (f *filterOp) Push(ev tvr.Event) error {
@@ -94,12 +116,33 @@ func (f *filterOp) Push(ev tvr.Event) error {
 	return f.out.Push(ev)
 }
 
+// PushBatch implements batchSink: evaluate the predicate across the batch,
+// then hand the survivors (data that passed plus all control events, in
+// order) downstream in one dispatch.
+func (f *filterOp) PushBatch(evs []tvr.Event) error {
+	f.batch = f.batch[:0]
+	for _, ev := range evs {
+		if ev.IsData() {
+			ok, err := plan.EvalBool(f.cond, ev.Row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		f.batch = append(f.batch, ev)
+	}
+	return pushBatch(f.out, f.batch)
+}
+
 func (f *filterOp) Finish() error { return f.out.Finish() }
 
 // projectOp maps each row through the projection expressions.
 type projectOp struct {
 	out   sink
 	exprs []plan.Scalar
+	batch []tvr.Event // output-event scratch, reused across batches
 }
 
 func (p *projectOp) Push(ev tvr.Event) error {
@@ -116,6 +159,42 @@ func (p *projectOp) Push(ev tvr.Event) error {
 	}
 	ev.Row = row
 	return p.out.Push(ev)
+}
+
+// PushBatch implements batchSink. Output rows for the whole batch are carved
+// out of one block allocation: the rows are immutable once emitted (and the
+// collector retains the batch's events together), so sharing a backing array
+// is safe and replaces N row allocations with one.
+func (p *projectOp) PushBatch(evs []tvr.Event) error {
+	nData := 0
+	for i := range evs {
+		if evs[i].IsData() {
+			nData++
+		}
+	}
+	width := len(p.exprs)
+	var block types.Row
+	if nData > 0 && width > 0 {
+		block = make(types.Row, nData*width)
+	}
+	p.batch = p.batch[:0]
+	off := 0
+	for _, ev := range evs {
+		if ev.IsData() {
+			row := block[off : off+width : off+width]
+			off += width
+			for i, e := range p.exprs {
+				v, err := e.Eval(ev.Row)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			ev.Row = row
+		}
+		p.batch = append(p.batch, ev)
+	}
+	return pushBatch(p.out, p.batch)
 }
 
 func (p *projectOp) Finish() error { return p.out.Finish() }
@@ -138,6 +217,8 @@ type windowOp struct {
 	times    map[types.Time]int      // timestamp -> multiplicity
 	rowsAt   map[types.Time][]rowRef // rows carrying each timestamp
 	timeList []types.Time            // insertion order of distinct timestamps
+
+	batch []tvr.Event // tumble/hop output scratch, reused across batches
 }
 
 type rowRef struct {
@@ -184,10 +265,51 @@ func (w *windowOp) Push(ev tvr.Event) error {
 }
 
 func (w *windowOp) emit(ev tvr.Event, iv window.Interval) error {
+	return w.out.Push(w.widen(ev, iv))
+}
+
+// widen appends the window bounds to the event's row.
+func (w *windowOp) widen(ev tvr.Event, iv window.Interval) tvr.Event {
 	row := make(types.Row, 0, len(ev.Row)+2)
 	row = append(row, ev.Row...)
 	row = append(row, types.NewTimestamp(iv.Start), types.NewTimestamp(iv.End))
-	return w.out.Push(tvr.Event{Ptime: ev.Ptime, Kind: ev.Kind, Row: row})
+	return tvr.Event{Ptime: ev.Ptime, Kind: ev.Kind, Row: row}
+}
+
+// PushBatch implements batchSink for the stateless window functions: the
+// widened rows for the whole batch are gathered and handed down in one
+// dispatch. The stateful session TVF keeps the per-event path.
+func (w *windowOp) PushBatch(evs []tvr.Event) error {
+	if w.fn == plan.SessionFn {
+		for i := range evs {
+			if err := w.Push(evs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	w.batch = w.batch[:0]
+	for _, ev := range evs {
+		if !ev.IsData() {
+			w.batch = append(w.batch, ev)
+			continue
+		}
+		tv := ev.Row[w.timeIdx]
+		if tv.IsNull() {
+			// Rows without an event timestamp belong to no window.
+			continue
+		}
+		t := tv.Timestamp()
+		switch w.fn {
+		case plan.TumbleFn:
+			w.batch = append(w.batch, w.widen(ev, window.Tumble(t, w.dur, w.offset)))
+		case plan.HopFn:
+			for _, iv := range window.Hop(t, w.dur, w.slide, w.offset) {
+				w.batch = append(w.batch, w.widen(ev, iv))
+			}
+		}
+	}
+	return pushBatch(w.out, w.batch)
 }
 
 // pushSession handles the stateful session TVF. The strategy: determine the

@@ -67,6 +67,18 @@ const defaultRoundSize = 8192
 // for building the partition chains.
 const SmallInputMinPerPartition = 2048
 
+// routeBlock is the round-robin granularity for stateless (keyless) scans:
+// deliveries are spread over partitions in blocks of consecutive sequence
+// numbers instead of one by one. Routing stays a pure function of the
+// persisted sequence counter — and the merge stage reassembles outputs by
+// sequence — so the output bytes are unchanged; what block routing buys is
+// long consecutive-seq runs inside each partition's inbox, which the chain
+// drain coalesces into single batch dispatches. Per-seq round-robin would cap
+// every stateless run at one event. 256 keeps a default 8192-delivery round
+// spread across 32 blocks, so partitions stay balanced well past the
+// partition counts this engine targets.
+const routeBlock = 256
+
 // PartitionedPipeline is a compiled query that executes as N key-partitioned
 // operator chains plus a serial merge/materialization tail.
 type PartitionedPipeline struct {
@@ -147,6 +159,12 @@ type partChain struct {
 	tag     *tagSink
 	scanOps []*scanOp // flattened in delivery order (scanOrder x per-name)
 	inbox   []delivery
+
+	evBuf []tvr.Event // coalesced-run scratch, reused across rounds
+	// Dispatch counters, owned by the chain's worker goroutine; the driver
+	// reads them from Stats only while the pipeline is quiescent.
+	dispatches       int64
+	dispatchedEvents int64
 }
 
 // partWorker is a partition's scheduling endpoint. in has capacity 1 so the
@@ -231,6 +249,22 @@ func (s *portTagSink) Push(ev tvr.Event) error {
 		te.key = ev.Row.Key()
 	}
 	s.t.buf = append(s.t.buf, te)
+	return nil
+}
+
+// PushBatch implements batchSink: the whole batch lands in the tag buffer in
+// one call. Every event carries the current delivery seq — for a coalesced
+// run that is the run's first seq, which preserves the (seq, emission) merge
+// order because the run's sequence numbers are consecutive and therefore
+// absent from every other partition.
+func (s *portTagSink) PushBatch(evs []tvr.Event) error {
+	for i := range evs {
+		te := taggedEvent{seq: s.t.seq, port: s.port, ev: evs[i]}
+		if s.t.precomp && evs[i].IsData() {
+			te.key = evs[i].Row.Key()
+		}
+		s.t.buf = append(s.t.buf, te)
+	}
 	return nil
 }
 
@@ -388,8 +422,9 @@ func SmallInput(sources []Source, parts, minPerPart int) bool {
 func (pp *PartitionedPipeline) route(d delivery) int {
 	cols := pp.routes[d.scan]
 	if cols == nil {
-		// Stateless subtree: spread deliveries round-robin.
-		return d.seq % pp.parts
+		// Stateless subtree: spread deliveries round-robin in blocks of
+		// consecutive sequence numbers (see routeBlock).
+		return (d.seq / routeBlock) % pp.parts
 	}
 	// Inline FNV-1a over the reusable key-encoding buffer: the routing
 	// loop is serial and per-event, so avoid both the hasher allocation
@@ -637,14 +672,22 @@ func (pp *PartitionedPipeline) feed(batch []Source, upTo types.Time, requireAll 
 		return fmt.Errorf("exec: pipeline not accepting input")
 	}
 	// Same k-way merge by ptime as the serial driver (ties broken by
-	// source registration order), batched into overlapping rounds.
-	err := forEachMerged(batch, pp.scanOrder, upTo, requireAll, func(name string, ev tvr.Event) error {
-		for _, si := range pp.scanIdxOf[name] {
-			pp.enqueue(delivery{seq: pp.seq, scan: si, ev: ev})
-			pp.seq++
-		}
-		if pp.pending >= pp.round {
-			return pp.flushRound()
+	// source registration order), batched into overlapping rounds. Routing
+	// needs per-event key hashing, so runs are unrolled here; the batch win
+	// on this path comes from the chains coalescing consecutive-seq runs on
+	// the partition side.
+	err := forEachMergedRuns(batch, pp.scanOrder, upTo, requireAll, func(name string, evs []tvr.Event) error {
+		scanIdx := pp.scanIdxOf[name]
+		for _, ev := range evs {
+			for _, si := range scanIdx {
+				pp.enqueue(delivery{seq: pp.seq, scan: si, ev: ev})
+				pp.seq++
+			}
+			if pp.pending >= pp.round {
+				if err := pp.flushRound(); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})
@@ -726,20 +769,60 @@ func (pp *PartitionedPipeline) OutputWatermark() types.Time {
 	return pp.collector.watermark()
 }
 
-// drain pushes a round's deliveries through the partition's chain.
+// drain pushes a round's deliveries through the partition's chain. Maximal
+// runs of consecutive-seq data deliveries into the same scan are coalesced
+// into one batch dispatch tagged with the run's first seq: the run's sequence
+// numbers are consecutive, so no other partition holds any seq inside the
+// run and the (seq, emission) merge order is unchanged. Control and finish
+// deliveries keep the per-event path (and their own seq tags — the watermark
+// deduplication in emit depends on copies sharing the cause seq).
 func (c *partChain) drain(inbox []delivery) error {
-	for _, d := range inbox {
-		c.tag.seq = d.seq
+	for i := 0; i < len(inbox); {
+		d := inbox[i]
 		s := c.scanOps[d.scan]
 		if d.finish {
+			c.tag.seq = d.seq
 			if err := s.Finish(); err != nil {
 				return err
 			}
+			i++
 			continue
 		}
-		if err := s.Push(d.ev); err != nil {
-			return err
+		if !d.ev.IsData() {
+			c.tag.seq = d.seq
+			c.dispatches++
+			c.dispatchedEvents++
+			if err := s.Push(d.ev); err != nil {
+				return err
+			}
+			i++
+			continue
 		}
+		j := i + 1
+		for j < len(inbox) {
+			n := inbox[j]
+			if n.finish || !n.ev.IsData() || n.scan != d.scan || n.seq != inbox[j-1].seq+1 {
+				break
+			}
+			j++
+		}
+		c.tag.seq = d.seq
+		c.dispatches++
+		c.dispatchedEvents += int64(j - i)
+		if j == i+1 {
+			if err := s.Push(d.ev); err != nil {
+				return err
+			}
+		} else {
+			c.evBuf = c.evBuf[:0]
+			for k := i; k < j; k++ {
+				c.evBuf = append(c.evBuf, inbox[k].ev)
+			}
+			if err := s.PushBatch(c.evBuf); err != nil {
+				return err
+			}
+		}
+		i = j
 	}
 	return nil
 }
@@ -801,6 +884,11 @@ func (pp *PartitionedPipeline) Stats() Stats {
 				s.stats(&st)
 			}
 		}
+		st.Dispatches += c.dispatches
+		st.DispatchedEvents += c.dispatchedEvents
+	}
+	if st.Dispatches > 0 {
+		st.EventsPerDispatch = float64(st.DispatchedEvents) / float64(st.Dispatches)
 	}
 	for _, op := range pp.tailOps {
 		if s, ok := op.(statser); ok {
@@ -814,6 +902,20 @@ func (pp *PartitionedPipeline) Stats() Stats {
 		st.Path = PathParallelTwoStage
 	}
 	return st
+}
+
+// DispatchStats returns the dispatch counters without walking operator
+// state. Safe whenever the workers are quiescent (Feed/Advance fully sync
+// before returning), which is when the session layer calls it.
+func (pp *PartitionedPipeline) DispatchStats() (dispatches, events int64) {
+	if pp.fallback != nil {
+		return pp.fallback.DispatchStats()
+	}
+	for _, c := range pp.chains {
+		dispatches += c.dispatches
+		events += c.dispatchedEvents
+	}
+	return dispatches, events
 }
 
 // Partitioning exposes the routing scheme (for EXPLAIN-style output).

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/plan"
@@ -51,6 +52,15 @@ type partialAggOp struct {
 	freed     int
 	keyBuf    []byte
 	rowWidth  int
+
+	// Run cache + scratch, mirroring aggOp: consecutive same-key events skip
+	// the map probe, and the key-evaluation row is reused. Groups are never
+	// removed from the map, so the cached pointer stays valid.
+	prevKey    []byte
+	runGroup   *partialGroup
+	runValid   bool
+	keyScratch types.Row
+	pend       []tvr.Event // per-dispatch output buffer, flushed once
 }
 
 type partialGroup struct {
@@ -86,14 +96,38 @@ func (p *partialAggOp) complete(keyRow types.Row, wm types.Time) bool {
 }
 
 func (p *partialAggOp) Push(ev tvr.Event) error {
+	p.pend = p.pend[:0]
+	if err := p.pushEvent(ev); err != nil {
+		return err
+	}
+	return pushBatch(p.out, p.pend)
+}
+
+// PushBatch implements batchSink, mirroring aggOp: group updates for the
+// whole batch, one downstream dispatch for the snapshots.
+func (p *partialAggOp) PushBatch(evs []tvr.Event) error {
+	p.pend = p.pend[:0]
+	for i := range evs {
+		if err := p.pushEvent(evs[i]); err != nil {
+			return err
+		}
+	}
+	return pushBatch(p.out, p.pend)
+}
+
+func (p *partialAggOp) pushEvent(ev tvr.Event) error {
 	switch ev.Kind {
 	case tvr.Watermark:
 		return p.onWatermark(ev)
 	case tvr.Heartbeat:
-		return p.out.Push(ev)
+		p.pend = append(p.pend, ev)
+		return nil
 	}
 
-	keyRow := make(types.Row, len(p.keys))
+	if p.keyScratch == nil && len(p.keys) > 0 {
+		p.keyScratch = make(types.Row, len(p.keys))
+	}
+	keyRow := p.keyScratch[:len(p.keys)]
 	for i, k := range p.keys {
 		v, err := k.Eval(ev.Row)
 		if err != nil {
@@ -102,23 +136,30 @@ func (p *partialAggOp) Push(ev tvr.Event) error {
 		keyRow[i] = v
 	}
 	p.keyBuf = keyRow.AppendKey(p.keyBuf[:0])
-	g, ok := p.groups[string(p.keyBuf)]
-	if ok && g.dead {
+	g := p.runGroup
+	if !p.runValid || !bytes.Equal(p.keyBuf, p.prevKey) {
+		var ok bool
+		g, ok = p.groups[string(p.keyBuf)]
+		if !ok {
+			if p.complete(keyRow, p.wm) {
+				p.lateDrop++
+				return nil
+			}
+			g = &partialGroup{keyRow: keyRow.Clone(), accs: make([]accumulator, len(p.aggs))}
+			for i, call := range p.aggs {
+				g.accs[i] = newAccumulator(call)
+			}
+			gk := string(p.keyBuf)
+			p.groups[gk] = g
+			p.order = append(p.order, gk)
+		}
+		p.prevKey = append(p.prevKey[:0], p.keyBuf...)
+		p.runGroup = g
+		p.runValid = true
+	}
+	if g.dead {
 		p.lateDrop++
 		return nil
-	}
-	if !ok {
-		if p.complete(keyRow, p.wm) {
-			p.lateDrop++
-			return nil
-		}
-		g = &partialGroup{keyRow: keyRow.Clone(), accs: make([]accumulator, len(p.aggs))}
-		for i, call := range p.aggs {
-			g.accs[i] = newAccumulator(call)
-		}
-		gk := string(p.keyBuf)
-		p.groups[gk] = g
-		p.order = append(p.order, gk)
 	}
 
 	delta := 1
@@ -152,13 +193,14 @@ func (p *partialAggOp) Push(ev tvr.Event) error {
 	for _, acc := range g.accs {
 		row = acc.(partialCarrier).appendPartial(row)
 	}
-	return p.out.Push(tvr.Event{Ptime: ev.Ptime, Kind: tvr.Insert, Row: row})
+	p.pend = append(p.pend, tvr.Event{Ptime: ev.Ptime, Kind: tvr.Insert, Row: row})
+	return nil
 }
 
 // onWatermark mirrors the serial aggregate: advance, free complete groups,
-// forward. The final stage performs the same completion on the merged
-// watermark, so late input is dropped here — before it can reach the tail —
-// exactly when the serial aggregate would drop it.
+// forward (via the pending buffer). The final stage performs the same
+// completion on the merged watermark, so late input is dropped here — before
+// it can reach the tail — exactly when the serial aggregate would drop it.
 func (p *partialAggOp) onWatermark(ev tvr.Event) error {
 	if ev.Wm <= p.wm {
 		return nil
@@ -177,7 +219,8 @@ func (p *partialAggOp) onWatermark(ev tvr.Event) error {
 			}
 		}
 	}
-	return p.out.Push(ev)
+	p.pend = append(p.pend, ev)
+	return nil
 }
 
 func (p *partialAggOp) Finish() error { return p.out.Finish() }

@@ -75,7 +75,7 @@ func deltaRows(d *Delta) int64 {
 // no locks, so it stays responsive while a delivery is blocked.
 func (c *cursor) stats() Stats {
 	s := c.s
-	return Stats{
+	st := Stats{
 		EventsIn:    s.eventsIn.Load(),
 		DeltasOut:   c.deltasOut.Load(),
 		RowsOut:     c.rowsOut.Load(),
@@ -85,7 +85,12 @@ func (c *cursor) stats() Stats {
 		PipelineID:  int(s.id.Load()),
 		Subscribers: int(s.nsubs.Load()),
 		Shard:       s.shardIndex(),
+		Dispatches:  s.dispatches.Load(),
 	}
+	if st.Dispatches > 0 {
+		st.EventsPerDispatch = float64(s.dispatchedEvents.Load()) / float64(st.Dispatches)
+	}
+	return st
 }
 
 // waitUnparkedLocked waits until no producer is mid-send to this cursor.

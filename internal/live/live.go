@@ -130,6 +130,10 @@ type tableAcc struct {
 	counts map[string]*rowAcc
 	order  []string
 	ptime  types.Time
+	// scratch is the reusable key-encoding buffer: steady-state applies look
+	// the row up through string(scratch) (allocation-free) and only
+	// materialize the key string when the row is first seen.
+	scratch []byte
 }
 
 type rowAcc struct {
@@ -149,10 +153,11 @@ func (a *tableAcc) apply(ev tvr.Event) {
 	if ev.Ptime > a.ptime {
 		a.ptime = ev.Ptime
 	}
-	k := ev.Row.Key()
-	r := a.counts[k]
+	a.scratch = ev.Row.AppendKey(a.scratch[:0])
+	r := a.counts[string(a.scratch)] // allocation-free lookup
 	if r == nil {
 		r = &rowAcc{row: ev.Row}
+		k := string(a.scratch)
 		a.counts[k] = r
 		a.order = append(a.order, k)
 	}
@@ -160,6 +165,15 @@ func (a *tableAcc) apply(ev tvr.Event) {
 		r.n++
 	} else {
 		r.n--
+	}
+}
+
+// applyLog folds a whole drained batch into the accumulator — the batch
+// counterpart the per-delta delivery path uses so a session consolidates one
+// applied batch in a single call.
+func (a *tableAcc) applyLog(out tvr.Changelog) {
+	for i := range out {
+		a.apply(out[i])
 	}
 }
 
@@ -181,9 +195,7 @@ func (a *tableAcc) diff() *TableDiff {
 // consolidate nets a drained output changelog into a snapshot diff.
 func consolidate(out tvr.Changelog) *TableDiff {
 	a := newTableAcc()
-	for _, ev := range out {
-		a.apply(ev)
-	}
+	a.applyLog(out)
 	return a.diff()
 }
 
@@ -214,6 +226,13 @@ type Stats struct {
 	// Shard is the resident pipeline's shard index under the sharded
 	// ingest subsystem, or -1 under the serial fan-out.
 	Shard int
+	// Dispatches counts operator-chain dispatches inside the standing
+	// pipeline (one per delivered batch or run; see exec.Stats).
+	Dispatches int64
+	// EventsPerDispatch is the mean number of source events carried per
+	// dispatch — the batching efficiency of the standing pipeline (1.0
+	// means pure per-event delivery).
+	EventsPerDispatch float64
 }
 
 // CursorOpts configures one subscriber cursor attached to a session.

@@ -71,8 +71,9 @@ func (d *echoDriver) Drain() tvr.Changelog {
 	return out
 }
 
-func (d *echoDriver) OutputWatermark() types.Time { return d.wm }
-func (d *echoDriver) Stats() exec.Stats           { return exec.Stats{Partitions: 1} }
+func (d *echoDriver) OutputWatermark() types.Time   { return d.wm }
+func (d *echoDriver) Stats() exec.Stats             { return exec.Stats{Partitions: 1} }
+func (d *echoDriver) DispatchStats() (int64, int64) { return 0, 0 }
 
 func testSchema() *types.Schema {
 	return types.NewSchema(types.Column{Name: "v", Kind: types.KindInt64})

@@ -89,6 +89,11 @@ type Session struct {
 	wm       atomic.Int64 // types.Time
 	nsubs    atomic.Int64 // len(cursors)
 	id       atomic.Int64 // registration (pipeline) id, set by the manager
+	// Batched-execution observability, mirrored from the driver's
+	// exec.Stats after every feed so lock-free Stats readers see them
+	// without touching the driver.
+	dispatches       atomic.Int64
+	dispatchedEvents atomic.Int64
 
 	teardown     func() // unregisters from the owning manager
 	teardownOnce sync.Once
@@ -336,7 +341,16 @@ func (s *Session) IngestLog(batch []exec.Source) error {
 		s.failFeed(err)
 		return err
 	}
+	s.noteDispatches()
 	return s.deliver()
+}
+
+// noteDispatches mirrors the driver's dispatch counters into the session's
+// atomics. Caller holds ingestMu, so the driver is quiescent.
+func (s *Session) noteDispatches() {
+	d, ev := s.driver.DispatchStats()
+	s.dispatches.Store(d)
+	s.dispatchedEvents.Store(ev)
 }
 
 // feedDriver and advanceDriver are the operator panic boundary: a panic in
@@ -376,6 +390,7 @@ func (s *Session) Advance(pt types.Time) error {
 		s.failFeed(err)
 		return err
 	}
+	s.noteDispatches()
 	return s.deliver()
 }
 
@@ -406,9 +421,7 @@ func (s *Session) renderLocked() *Delta {
 	s.produced = true
 	if !s.noRetain && !s.overflowed {
 		if s.cfg.Mode == Table {
-			for _, ev := range out {
-				s.tableSnap.apply(ev)
-			}
+			s.tableSnap.applyLog(out)
 			if s.cfg.MaxRetainedRows > 0 && len(s.tableSnap.order) > s.cfg.MaxRetainedRows {
 				s.releaseRetainedLocked()
 			}

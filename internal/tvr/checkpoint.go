@@ -157,7 +157,7 @@ func (sr *StreamRenderer) SaveState(enc *checkpoint.Encoder) {
 	enc.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		enc.String(k)
-		enc.Int(sr.vers[k])
+		enc.Int(*sr.vers[k])
 	}
 }
 
@@ -169,7 +169,8 @@ func (sr *StreamRenderer) LoadState(dec *checkpoint.Decoder) error {
 	n := dec.Uvarint()
 	for i := uint64(0); i < n; i++ {
 		k := dec.String()
-		sr.vers[k] = dec.Int()
+		v := dec.Int()
+		sr.vers[k] = &v
 	}
 	return dec.Err()
 }

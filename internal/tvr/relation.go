@@ -64,6 +64,13 @@ func (r *Relation) insertNew(row types.Row, k string) {
 	r.size++
 }
 
+func (r *Relation) insertOwned(row types.Row, k string) {
+	e := &entry{row: row, count: 1}
+	r.entries[k] = e
+	r.order = append(r.order, k)
+	r.size++
+}
+
 func (r *Relation) bump(e *entry, k string) {
 	if e.count == 0 {
 		// Re-entering the bag: move to the back of the iteration order.
@@ -108,6 +115,50 @@ func (r *Relation) Apply(e Event) error {
 		return nil
 	case Delete:
 		return r.Delete(e.Row)
+	default:
+		return nil
+	}
+}
+
+// ApplyOwned is Apply for callers that guarantee e.Row is immutable and may
+// be retained (e.g. a sink that also appends the event to a changelog). It
+// skips the defensive copy a first-time insert would otherwise make.
+func (r *Relation) ApplyOwned(e Event) error {
+	switch e.Kind {
+	case Insert:
+		r.scratch = e.Row.AppendKey(r.scratch[:0])
+		if en, ok := r.entries[string(r.scratch)]; ok {
+			if en.count == 0 {
+				// Materialize the key only on the cold re-entry branch.
+				r.bump(en, string(r.scratch))
+			} else {
+				en.count++
+				r.size++
+			}
+			return nil
+		}
+		r.insertOwned(e.Row, string(r.scratch))
+		return nil
+	case Delete:
+		return r.Delete(e.Row)
+	default:
+		return nil
+	}
+}
+
+// ApplyKeyedOwned is ApplyKeyed for callers that guarantee e.Row is
+// immutable and may be retained (see ApplyOwned).
+func (r *Relation) ApplyKeyedOwned(e Event, k string) error {
+	switch e.Kind {
+	case Insert:
+		if en, ok := r.entries[k]; ok {
+			r.bump(en, k)
+			return nil
+		}
+		r.insertOwned(e.Row, k)
+		return nil
+	case Delete:
+		return r.DeleteKeyed(e.Row, k)
 	default:
 		return nil
 	}

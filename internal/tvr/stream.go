@@ -1,7 +1,9 @@
 package tvr
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/types"
@@ -49,35 +51,63 @@ func RenderStream(c Changelog, keyIdxs []int) []StreamRow {
 // output deltas as they materialize.
 type StreamRenderer struct {
 	keyIdxs []int
-	vers    map[string]int
+	// vers holds pointer-valued counters so the steady-state path — encode
+	// the group key into the scratch buffer, look up, bump through the
+	// pointer — never materializes a key string (map assignment with a
+	// string(bytes) key would allocate; lookups do not).
+	vers    map[string]*int
+	scratch []byte // reusable group-key encoding buffer
+	// Run cache: consecutive changes to the same group (an aggregate's
+	// retract/emit pair is the common case) skip the map probe.
+	prevKey []byte
+	prevVer *int
 }
 
 // NewStreamRenderer creates a renderer grouping version numbers by the
 // columns at keyIdxs (empty means one global group).
 func NewStreamRenderer(keyIdxs []int) *StreamRenderer {
-	return &StreamRenderer{keyIdxs: keyIdxs, vers: make(map[string]int)}
+	return &StreamRenderer{keyIdxs: keyIdxs, vers: make(map[string]*int)}
 }
 
 // Append renders the next slice of the changelog, continuing the version
 // numbering from previous calls.
 func (r *StreamRenderer) Append(c Changelog) []StreamRow {
-	var out []StreamRow
+	nData := 0
+	for i := range c {
+		if c[i].IsData() {
+			nData++
+		}
+	}
+	if nData == 0 {
+		return nil
+	}
+	out := make([]StreamRow, 0, nData)
 	for _, e := range c {
 		if !e.IsData() {
 			continue
 		}
-		var gk string
+		r.scratch = r.scratch[:0]
 		if len(r.keyIdxs) > 0 {
-			gk = e.Row.KeyOf(r.keyIdxs)
+			r.scratch = e.Row.AppendKeyOf(r.scratch, r.keyIdxs)
 		}
-		v := r.vers[gk]
-		r.vers[gk] = v + 1
+		ver := r.prevVer
+		if ver == nil || !bytes.Equal(r.scratch, r.prevKey) {
+			v, ok := r.vers[string(r.scratch)] // allocation-free lookup
+			if !ok {
+				v = new(int)
+				r.vers[string(r.scratch)] = v
+			}
+			ver = v
+			r.prevKey = append(r.prevKey[:0], r.scratch...)
+			r.prevVer = ver
+		}
 		out = append(out, StreamRow{
 			Row:   e.Row,
 			Undo:  e.Kind == Delete,
 			Ptime: e.Ptime,
-			Ver:   v,
+			Ver:   *ver,
 		})
+		*ver++
 	}
 	return out
 }
@@ -111,7 +141,7 @@ func FormatStreamTable(schema *types.Schema, rows []StreamRow) string {
 		if s.Undo {
 			undo = "undo"
 		}
-		row = append(row, undo, s.Ptime.String(), fmt.Sprint(s.Ver))
+		row = append(row, undo, s.Ptime.String(), strconv.Itoa(s.Ver))
 		cells = append(cells, row)
 	}
 	return FormatTable(headers, cells)
@@ -150,6 +180,7 @@ func FormatTable(headers []string, rows [][]string) string {
 	}
 	border := strings.Repeat("-", total)
 	var sb strings.Builder
+	sb.Grow((len(rows) + 4) * (total + 1))
 	writeRow := func(cells []string) {
 		sb.WriteByte('|')
 		for i, w := range widths {
@@ -157,7 +188,12 @@ func FormatTable(headers []string, rows [][]string) string {
 			if i < len(cells) {
 				c = cells[i]
 			}
-			fmt.Fprintf(&sb, " %-*s |", w, c)
+			sb.WriteByte(' ')
+			sb.WriteString(c)
+			for p := len(c); p < w; p++ {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(" |")
 		}
 		sb.WriteByte('\n')
 	}

@@ -119,22 +119,56 @@ func (t Time) String() string {
 	ms %= int64(Minute)
 	s := ms / int64(Second)
 	ms %= int64(Second)
+	buf := make([]byte, 0, 20)
+	buf = append(buf, neg...)
 	if day == 0 && s == 0 && ms == 0 && neg == "" {
-		return fmt.Sprintf("%d:%02d", h, m)
+		buf = strconv.AppendInt(buf, h, 10)
+		buf = append(buf, ':')
+		buf = appendPad2(buf, m)
+		return string(buf)
 	}
-	if day == 0 {
-		return fmt.Sprintf("%s%d:%02d:%02d.%03d", neg, h, m, s, ms)
+	if day != 0 {
+		buf = strconv.AppendInt(buf, day, 10)
+		buf = append(buf, 'd')
+		buf = appendPad2(buf, h)
+	} else {
+		buf = strconv.AppendInt(buf, h, 10)
 	}
-	return fmt.Sprintf("%s%dd%02d:%02d:%02d.%03d", neg, day, h, m, s, ms)
+	buf = append(buf, ':')
+	buf = appendPad2(buf, m)
+	buf = append(buf, ':')
+	buf = appendPad2(buf, s)
+	buf = append(buf, '.')
+	buf = appendPad3(buf, ms)
+	return string(buf)
+}
+
+// appendPad2 appends n as at least two decimal digits (n is 0..99 here).
+func appendPad2(b []byte, n int64) []byte {
+	if n < 10 {
+		b = append(b, '0')
+	}
+	return strconv.AppendInt(b, n, 10)
+}
+
+// appendPad3 appends n as at least three decimal digits (n is 0..999 here).
+func appendPad3(b []byte, n int64) []byte {
+	if n < 100 {
+		b = append(b, '0')
+		if n < 10 {
+			b = append(b, '0')
+		}
+	}
+	return strconv.AppendInt(b, n, 10)
 }
 
 // String renders the duration, using whole minutes where exact (the common
 // case in the paper) and milliseconds otherwise.
 func (d Duration) String() string {
 	if d%Minute == 0 {
-		return fmt.Sprintf("%dm", int64(d/Minute))
+		return strconv.FormatInt(int64(d/Minute), 10) + "m"
 	}
-	return fmt.Sprintf("%dms", int64(d))
+	return strconv.FormatInt(int64(d), 10) + "ms"
 }
 
 // Value is a single SQL value. The zero Value is SQL NULL.
