@@ -13,7 +13,7 @@ BENCH_COUNT ?=
 BENCH_SCALE ?=
 export BENCH_COUNT BENCH_SCALE
 
-.PHONY: all build vet test race race-shard faults batch-guard bench bench-diff bench-full bench-live bench-recovery verify
+.PHONY: all build vet test race race-shard faults batch-guard obs-guard bench bench-diff bench-full bench-live bench-recovery verify
 
 all: verify
 
@@ -61,27 +61,42 @@ batch-guard:
 	$(GO) test ./internal/exec -run 'TestPushBatchRechunkEquivalence|TestPartitionedRoundSizeInvariance|TestKeyedHotPathAllocFree|TestBatchDispatchStats' -v
 	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkBatchPush -benchtime 1x -benchmem
 
+# Observability guardrails: the Prometheus exposition-format and
+# concurrency tests for internal/obs, the 0 allocs/op pins on Counter.Add /
+# Histogram.Observe, the /metrics + slow-commit serving integration tests,
+# the no-hot-Stats audit, and the instrumented batch-push alloc pin (a
+# single-iteration BenchmarkBatchPush with -benchmem, so an instrumentation
+# regression on the hot path is visible in the verify output).
+obs-guard:
+	$(GO) test ./internal/obs -v
+	$(GO) test ./internal/obs -race -run 'TestConcurrentObserveCollect'
+	$(GO) test ./internal/obs -run '^$$' -bench 'BenchmarkCounterAdd|BenchmarkHistogramObserve' -benchtime 100x -benchmem
+	$(GO) test ./cmd/serve -run 'TestMetrics|TestServeSlowCommitLog|TestPprofGated' -v
+	$(GO) test ./internal/live -run 'TestNoHotPathDriverStats' -v
+	$(GO) test ./internal/exec -run 'TestKeyedHotPathAllocFree' -v
+	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkBatchPush -benchtime 1x -benchmem
+
 # Short-mode benchmark harness: asserts serial/partitioned equivalence at
 # reduced scale and refreshes the reduced-scale records
 # (BENCH_nexmark_short.json, BENCH_live_short.json). The committed
 # full-scale BENCH_nexmark.json / BENCH_live.json are only rewritten by
 # bench-full / bench-live.
 bench:
-	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench|TestRecoveryBench' -short -v
+	NEXMARK_BENCH_WRITE=1 $(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestSerialParallelEquivalence|TestLiveBench|TestRecoveryBench' -short -v
 
 # Standing-query serving benchmark: ingests the NEXMark bid stream through
 # live subscriptions — single-subscriber scenarios plus the K-subscriber
 # shared-vs-unshared fan-out — and refreshes BENCH_live.json (steady-state
 # throughput + per-delta latency percentiles).
 bench-live:
-	$(GO) test ./internal/nexmark -run TestLiveBench -v -timeout 10m
+	NEXMARK_BENCH_WRITE=1 $(GO) test ./internal/nexmark -run TestLiveBench -v -timeout 10m
 
 # Recovery benchmark: checkpoint size, checkpoint/restore latency, and the
 # full-history replay it replaces, for the standing benchmark query (serial
 # and partitioned). Merges into the Recovery section of BENCH_live.json
 # (short runs: BENCH_live_short.json) without touching the subscription rows.
 bench-recovery:
-	$(GO) test ./internal/nexmark -run TestRecoveryBench -v -timeout 10m
+	NEXMARK_BENCH_WRITE=1 $(GO) test ./internal/nexmark -run TestRecoveryBench -v -timeout 10m
 
 # Compare fresh short benchmark runs against the committed short-mode
 # baselines (like for like — short runs never compare against the
@@ -94,7 +109,7 @@ bench-diff:
 	livebase=$$(mktemp -t bench_live_base.XXXXXX.json) && \
 	cp BENCH_nexmark_short.json $$base && \
 	cp BENCH_live_short.json $$livebase && \
-	$(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestLiveBench|TestRecoveryBench' -short && \
+	NEXMARK_BENCH_WRITE=1 $(GO) test ./internal/nexmark -run 'TestNexmarkBench|TestLiveBench|TestRecoveryBench' -short && \
 	$(GO) run ./cmd/benchdiff $$base BENCH_nexmark_short.json && \
 	$(GO) run ./cmd/benchdiff $$livebase BENCH_live_short.json; \
 	status=$$?; rm -f $$base $$livebase; exit $$status
@@ -103,6 +118,6 @@ bench-diff:
 # enforces the >=1.5x partitioned speedup bar on machines with >=4 cores
 # (the bar never arms in the regular/race test suite).
 bench-full:
-	NEXMARK_BENCH_STRICT=1 $(GO) test ./internal/nexmark -run TestNexmarkBench -v -timeout 20m
+	NEXMARK_BENCH_STRICT=1 NEXMARK_BENCH_WRITE=1 $(GO) test ./internal/nexmark -run TestNexmarkBench -v -timeout 20m
 
-verify: vet build race race-shard faults batch-guard bench
+verify: vet build race race-shard faults batch-guard obs-guard bench

@@ -50,7 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nexmark"
+	"repro/internal/obs"
 	"repro/internal/types"
 	"repro/internal/wal"
 )
@@ -81,12 +82,37 @@ func main() {
 		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: \"always\" (per committed batch), \"none\", or an interval like \"250ms\" (needs -data-dir)")
 		shards     = flag.Int("shards", 0, "shard workers for standing-query fan-out (0 = serial: deliveries run on the ingesting goroutine); with N > 0 each resident pipeline is pinned to one of N workers and commits are applied asynchronously in commit order, so disjoint standing queries scale across cores and a stalled Block-policy subscriber parks only its own shard")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "deadline for one-shot requests (register, ingest, query, ...); past it the client gets a 503 and the handler context is canceled. Streaming /v1/subscribe is exempt. 0 disables")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose internals)")
+		slowCommit = flag.Duration("slow-commit", obs.DefaultSlowCommit, "emit a structured span-breakdown log line for any commit slower than this (validate/wal/sequence/enqueue/apply/render/deliver attribution); 0 disables the log, histograms stay on")
+		logFormat  = flag.String("log-format", "text", "structured log format: \"text\" or \"json\"")
 	)
 	flag.Parse()
-	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync, *shards, *reqTimeout); err != nil {
+	if err := initLogger(*logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	if err := run(*addr, *preload, *seed, *dataDir, *ckptEvery, *walSync, *shards, *reqTimeout, *pprofOn, *slowCommit); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// initLogger installs the process-wide structured logger (-log-format).
+// Everything the serve process logs — checkpoint/shutdown lines and the
+// engine's slow-commit span breakdowns — goes through it, so one stream is
+// machine-parseable end to end under -log-format=json.
+func initLogger(format string) error {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("log-format must be \"text\" or \"json\", got %q", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
 }
 
 // run assembles the engine (restoring snapshot + WAL tail from the data dir
@@ -94,14 +120,18 @@ func main() {
 // gracefully: final checkpoint first (while the resident pipelines are
 // still alive), then drain the standing-query handlers, then close the
 // listener.
-func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string, shards int, reqTimeout time.Duration) error {
-	engine, walw, restored, err := openEngine(preload, seed, dataDir, walSync, shards)
+func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Duration, walSync string, shards int, reqTimeout time.Duration, pprofOn bool, slowCommit time.Duration) error {
+	engine, walw, restored, err := openEngine(preload, seed, dataDir, walSync, shards,
+		core.WithObs(obs.NewRegistry()), core.WithSlowCommit(slowCommit))
 	if err != nil {
 		return err
 	}
 	defer engine.Close()
 	srv := NewServer(engine)
 	srv.SetRequestTimeout(reqTimeout)
+	if pprofOn {
+		srv.EnablePprof()
+	}
 	if dataDir != "" {
 		srv.EnableCheckpoint(filepath.Join(dataDir, checkpointFileName))
 	}
@@ -117,7 +147,7 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 		if err != nil {
 			return fmt.Errorf("initial checkpoint: %w", err)
 		}
-		log.Printf("serve: initial checkpoint written (%d bytes)", n)
+		slog.Info("initial checkpoint written", "bytes", n)
 	}
 
 	// No WriteTimeout: it would sever streaming /v1/subscribe responses,
@@ -162,11 +192,11 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 						backoff = ckptEvery
 					}
 					delay = backoff
-					log.Printf("serve: periodic checkpoint failed (retrying in %v): %v", delay, err)
+					slog.Error("periodic checkpoint failed", "retryIn", delay, "err", err)
 				} else {
 					backoff = 0
 					delay = ckptEvery
-					log.Printf("serve: checkpoint written (%d bytes, %d sessions)", n, engine.LiveSessions())
+					slog.Info("checkpoint written", "bytes", n, "sessions", engine.LiveSessions())
 				}
 				timer.Reset(delay)
 			}
@@ -179,14 +209,14 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 			errc <- err
 		}
 	}()
-	log.Printf("serve: listening on %s (nexmark preload: %d events, data-dir: %q)", addr, preload, dataDir)
+	slog.Info("listening", "addr", addr, "nexmarkPreload", preload, "dataDir", dataDir)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("serve: shutting down")
+	slog.Info("shutting down")
 
 	// 1. Final checkpoint while every resident pipeline is still alive —
 	//    canceling a session's last cursor would tear its pipeline down.
@@ -209,15 +239,15 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 			// shard; CancelSubscriptions below releases the park.
 			engine.Quiesce()
 			if n, err := srv.CheckpointNow(); err != nil {
-				log.Printf("serve: final checkpoint failed: %v", err)
+				slog.Error("final checkpoint failed", "err", err)
 			} else {
-				log.Printf("serve: final checkpoint written (%d bytes, %d sessions)", n, engine.LiveSessions())
+				slog.Info("final checkpoint written", "bytes", n, "sessions", engine.LiveSessions())
 			}
 		}()
 		select {
 		case <-ckptDone:
 		case <-time.After(5 * time.Second):
-			log.Printf("serve: final checkpoint blocked (delivery parked on a stalled subscriber?); ending subscriptions to release it")
+			slog.Warn("final checkpoint blocked (delivery parked on a stalled subscriber?); ending subscriptions to release it")
 			srv.CancelSubscriptions()
 			<-ckptDone
 		}
@@ -232,7 +262,7 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	log.Printf("serve: stopped")
+	slog.Info("stopped")
 	return nil
 }
 
@@ -243,9 +273,9 @@ func run(addr string, preload int, seed int64, dataDir string, ckptEvery time.Du
 // open the log for appending and attach it so every further commit is
 // logged. The returned restored flag reports whether a snapshot existed
 // (run writes an initial one otherwise).
-func openEngine(preload int, seed int64, dataDir, walSync string, shards int) (*core.Engine, *wal.Writer, bool, error) {
+func openEngine(preload int, seed int64, dataDir, walSync string, shards int, opts ...core.Option) (*core.Engine, *wal.Writer, bool, error) {
 	if dataDir == "" {
-		engine, err := buildEngine(preload, seed, shards)
+		engine, err := buildEngine(preload, seed, shards, opts...)
 		return engine, nil, false, err
 	}
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
@@ -260,16 +290,16 @@ func openEngine(preload int, seed int64, dataDir, walSync string, shards int) (*
 	path := filepath.Join(dataDir, checkpointFileName)
 	switch _, statErr := os.Stat(path); {
 	case statErr == nil:
-		engine = core.NewEngine(core.WithUnboundedGroupBy(), core.WithShards(shards))
+		engine = core.NewEngine(append([]core.Option{core.WithUnboundedGroupBy(), core.WithShards(shards)}, opts...)...)
 		if err := engine.RestoreFile(path); err != nil {
 			return nil, nil, false, fmt.Errorf("restoring %s: %w", path, err)
 		}
 		restored = true
-		log.Printf("serve: restored engine from %s (%d standing queries resume without history replay)",
-			path, engine.LiveSessions())
+		slog.Info("restored engine from checkpoint (standing queries resume without history replay)",
+			"path", path, "sessions", engine.LiveSessions())
 	case os.IsNotExist(statErr):
 		var err error
-		if engine, err = buildEngine(preload, seed, shards); err != nil {
+		if engine, err = buildEngine(preload, seed, shards, opts...); err != nil {
 			return nil, nil, false, err
 		}
 	default:
@@ -289,18 +319,17 @@ func openEngine(preload int, seed int64, dataDir, walSync string, shards int) (*
 		return nil, nil, false, fmt.Errorf("replaying %s: %w", walDir, err)
 	}
 	if info.Frames > 0 {
-		log.Printf("serve: replayed WAL tail through seq %d (%d records; engine at seq %d)",
-			info.LastSeq, info.Frames, engine.WALSeq())
+		slog.Info("replayed WAL tail", "throughSeq", info.LastSeq, "records", info.Frames, "engineSeq", engine.WALSeq())
 	}
 	if info.Torn != "" {
-		log.Printf("serve: WAL tail was torn by a crash (%s); recovered to the last valid commit", info.Torn)
+		slog.Warn("WAL tail was torn by a crash; recovered to the last valid commit", "torn", info.Torn)
 	}
 
 	mode, interval, err := wal.ParseSyncPolicy(walSync)
 	if err != nil {
 		return nil, nil, false, err
 	}
-	walw, err := wal.Open(walDir, engine.WALSeq()+1, wal.Options{Mode: mode, Interval: interval})
+	walw, err := wal.Open(walDir, engine.WALSeq()+1, wal.Options{Mode: mode, Interval: interval, Obs: engine.Obs()})
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("opening %s: %w", walDir, err)
 	}
@@ -324,19 +353,20 @@ func sweepStaleCheckpointTemps(dataDir string) error {
 		if err := os.Remove(p); err != nil {
 			return fmt.Errorf("sweeping stale checkpoint temp %s: %w", p, err)
 		}
-		log.Printf("serve: removed stale checkpoint temp %s", p)
+		slog.Info("removed stale checkpoint temp", "path", p)
 	}
 	return nil
 }
 
 // buildEngine creates the engine, optionally preloaded with the NEXMark
 // catalog and a deterministic dataset so demos have data to query.
-func buildEngine(events int, seed int64, shards int) (*core.Engine, error) {
+func buildEngine(events int, seed int64, shards int, opts ...core.Option) (*core.Engine, error) {
+	all := append([]core.Option{core.WithUnboundedGroupBy(), core.WithShards(shards)}, opts...)
 	if events <= 0 {
-		return core.NewEngine(core.WithUnboundedGroupBy(), core.WithShards(shards)), nil
+		return core.NewEngine(all...), nil
 	}
 	g := nexmark.Generate(nexmark.GeneratorConfig{
 		Seed: seed, NumEvents: events, MaxOutOfOrderness: 2 * types.Second,
 	})
-	return nexmark.NewEngine(g, core.WithUnboundedGroupBy(), core.WithShards(shards))
+	return nexmark.NewEngine(g, all...)
 }

@@ -26,12 +26,15 @@ package main
 //	DELETE /v1/subscriptions/{id}       cancel a standing query
 //	POST /v1/checkpoint                 force a durable checkpoint (needs -data-dir)
 //	GET  /v1/healthz                    liveness + pipeline/subscriber/checkpoint state
+//	GET  /metrics                       Prometheus text-format metrics (engine/WAL/checkpoint/shard/live/exec/commit families)
+//	GET  /debug/pprof/...               net/http/pprof profiling (only with -pprof)
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -104,7 +107,23 @@ func NewServer(e *core.Engine) *Server {
 	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.timed(s.handleUnsubscribe))
 	s.mux.HandleFunc("POST /v1/checkpoint", s.timed(s.handleCheckpoint))
 	s.mux.HandleFunc("GET /v1/healthz", s.timed(s.handleHealthz))
+	// Metrics scrape: untimed (it is cheap and lock-light by design — see
+	// internal/obs) and only mounted when the engine carries a registry.
+	if reg := e.Obs(); reg != nil {
+		s.mux.Handle("GET /metrics", reg.Handler())
+	}
 	return s
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ (-pprof flag). Off
+// by default: the profiling endpoints expose heap contents and should not be
+// reachable on an open listener unless asked for.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // SetRequestTimeout bounds every one-shot handler to d (-request-timeout):
@@ -181,7 +200,7 @@ func (s *Server) CheckpointNow() (int64, error) {
 	// to attempt unconditionally.
 	if s.engine.Degraded() != nil {
 		if err := s.engine.ClearDegraded(); err == nil {
-			log.Printf("serve: degraded mode cleared after successful checkpoint")
+			slog.Info("degraded mode cleared after successful checkpoint")
 		}
 	}
 	return n, nil

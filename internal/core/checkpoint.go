@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/exec"
@@ -62,10 +63,12 @@ func (e *Engine) CheckpointAll(w io.Writer) error {
 // encoded size and the WAL sequence number the snapshot covers through —
 // once this call returns, the log may be truncated through that sequence.
 func (e *Engine) CheckpointFile(path string) (int64, uint64, error) {
+	t0 := time.Now()
 	var seq uint64
 	n, err := checkpoint.WriteFileAtomicFS(e.fs, path, func(enc *checkpoint.Encoder) error {
 		return e.saveAllSeq(enc, &seq)
 	})
+	e.metrics.noteCheckpoint(n, time.Since(t0), err)
 	if err != nil {
 		return 0, 0, err
 	}

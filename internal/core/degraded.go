@@ -66,6 +66,7 @@ func (e *Engine) EnterDegraded(cause error) {
 	defer e.mu.Unlock()
 	if e.degraded == nil {
 		e.degraded = cause
+		e.metrics.noteDegraded(true)
 	}
 }
 
@@ -105,6 +106,7 @@ func (e *Engine) ClearDegraded() error {
 	}
 	e.degraded = nil
 	e.walFails = 0
+	e.metrics.noteDegraded(false)
 	return nil
 }
 
@@ -119,6 +121,7 @@ func (e *Engine) noteWALResultLocked(err error) {
 		return
 	}
 	e.walFails++
+	e.metrics.noteWALFailure()
 	threshold := e.degradeAfter
 	if threshold <= 0 {
 		threshold = DefaultDegradeAfter
@@ -129,5 +132,6 @@ func (e *Engine) noteWALResultLocked(err error) {
 	}
 	if e.degraded == nil && (poisoned || e.walFails >= threshold) {
 		e.degraded = err
+		e.metrics.noteDegraded(true)
 	}
 }

@@ -13,13 +13,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/exec"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -62,6 +65,15 @@ type Engine struct {
 	degraded     error
 	walFails     int
 	degradeAfter int
+
+	// Observability (see obs.go): all nil/zero without WithObs, costing
+	// the hot paths only nil checks. tracer hands out a commit-path span
+	// per Publish/Heartbeat; slowCommit is its log threshold.
+	obsReg     *obs.Registry
+	metrics    *engineMetrics
+	tracer     *obs.CommitTracer
+	slowCommit time.Duration
+	traceLog   *slog.Logger
 }
 
 type relation struct {
@@ -113,11 +125,16 @@ func WithFS(fsys vfs.FS) Option {
 
 // NewEngine creates an empty engine.
 func NewEngine(opts ...Option) *Engine {
-	e := &Engine{rels: make(map[string]*relation), gateMin: -1, fs: vfs.Default}
+	e := &Engine{rels: make(map[string]*relation), gateMin: -1, fs: vfs.Default,
+		slowCommit: obs.DefaultSlowCommit}
 	for _, o := range opts {
 		o(e)
 	}
-	e.live = live.NewManagerWith(live.Options{Shards: e.shards})
+	if e.obsReg != nil {
+		e.metrics = newEngineMetrics(e.obsReg)
+		e.tracer = obs.NewCommitTracer(e.obsReg, e.slowCommit, e.traceLog)
+	}
+	e.live = live.NewManagerWith(live.Options{Shards: e.shards, Obs: e.obsReg})
 	return e
 }
 
@@ -199,15 +216,29 @@ func (e *Engine) AdvanceWatermark(name string, ptime types.Time, wm types.Time) 
 // lock acquisition before any event is applied, so a mid-log validation
 // error leaves the relation untouched rather than half-appended.
 func (e *Engine) AppendLog(name string, log tvr.Changelog) error {
-	return e.live.Publish(func() error { return e.applyLog(name, log) }, name, log)
+	return e.publish(name, log)
 }
 
 // append records one change and routes it to matching standing queries. The
 // live manager's ordering lock brackets the commit and the fan-out, so every
 // subscription observes changes in commit order.
 func (e *Engine) append(name string, ev tvr.Event) error {
-	log := tvr.Changelog{ev}
-	return e.live.Publish(func() error { return e.applyLog(name, log) }, name, log)
+	return e.publish(name, tvr.Changelog{ev})
+}
+
+// publish commits a changelog through the live manager's ordering lock,
+// carrying a commit-path span when tracing is enabled: validate and WAL
+// stages are timed inside applyLog, sequence/enqueue by the manager,
+// apply/render/deliver inside each session. The span finalizes — recording
+// histograms and possibly the slow-commit log line — when the last
+// participant (the publisher, or the last shard worker) releases it.
+func (e *Engine) publish(name string, log tvr.Changelog) error {
+	span := e.tracer.Begin(name, len(log))
+	err := e.live.PublishSpan(func() error { return e.applyLog(name, log, span) }, name, log, span)
+	if err == nil {
+		e.metrics.notePublish(len(log))
+	}
+	return err
 }
 
 // applyLog validates the whole log against the relation's current cursors,
@@ -217,7 +248,7 @@ func (e *Engine) append(name string, ev tvr.Event) error {
 // live ingestion rejected), and logging before applying means a WAL failure
 // leaves the relation untouched and the batch unrouted — the change is
 // refused, not silently volatile.
-func (e *Engine) applyLog(name string, log tvr.Changelog) error {
+func (e *Engine) applyLog(name string, log tvr.Changelog, span *obs.CommitSpan) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.degradedLocked(); err != nil {
@@ -227,6 +258,10 @@ func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 	if !ok {
 		return fmt.Errorf("core: relation %q not registered", name)
 	}
+	tValidate := time.Time{}
+	if span != nil {
+		tValidate = time.Now()
+	}
 	lastPtime, lastWM := rel.lastPtime, rel.lastWM
 	for _, ev := range log {
 		var err error
@@ -234,6 +269,11 @@ func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 		if err != nil {
 			return err
 		}
+	}
+	span.AddSince(obs.SpanValidate, tValidate)
+	tWAL := time.Time{}
+	if span != nil {
+		tWAL = time.Now()
 	}
 	err := e.walAppendLocked(func(enc *checkpoint.Encoder) error {
 		enc.String(walRecPublish)
@@ -244,6 +284,7 @@ func (e *Engine) applyLog(name string, log tvr.Changelog) error {
 	if err != nil {
 		return err
 	}
+	span.AddSince(obs.SpanWAL, tWAL)
 	rel.lastPtime, rel.lastWM = lastPtime, lastWM
 	rel.log = append(rel.log, log...)
 	return nil
@@ -454,8 +495,19 @@ func (e *Engine) run(sql string, at types.Time) (*exec.Result, exec.Stats, error
 // runWith plans the query and executes it on the partitioned pipeline when
 // parts > 1 and the plan admits a hash partitioning, merging the
 // per-partition outputs deterministically; otherwise it runs the serial
-// pipeline. Both paths produce byte-identical results.
+// pipeline. Both paths produce byte-identical results. Query latency and
+// the chosen execution path feed the engine_queries_* families.
 func (e *Engine) runWith(sql string, at types.Time, parts int) (*exec.Result, exec.Stats, error) {
+	if e.metrics == nil {
+		return e.runWithInner(sql, at, parts)
+	}
+	t0 := time.Now()
+	res, st, err := e.runWithInner(sql, at, parts)
+	e.metrics.noteQuery(st.Path, time.Since(t0), err)
+	return res, st, err
+}
+
+func (e *Engine) runWithInner(sql string, at types.Time, parts int) (*exec.Result, exec.Stats, error) {
 	// Read-your-writes: under the sharded fan-out an acknowledged change may
 	// still be in a shard queue; one-shot queries read the recorded catalog
 	// logs, which the commit already updated, but quiescing first also keeps

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/exec"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/shard"
 	"repro/internal/types"
@@ -191,18 +193,31 @@ func normalizeSQL(sql string) string {
 // any session sees it) — timers it fires must refire identically on
 // replay — and a log failure suppresses the broadcast.
 func (e *Engine) Heartbeat(pt types.Time) error {
-	return e.live.AdvanceWith(pt, func() error {
+	span := e.tracer.Begin("(heartbeat)", 0)
+	err := e.live.AdvanceWithSpan(pt, func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if err := e.degradedLocked(); err != nil {
 			return err
 		}
-		return e.walAppendLocked(func(enc *checkpoint.Encoder) error {
+		tWAL := time.Time{}
+		if span != nil {
+			tWAL = time.Now()
+		}
+		err := e.walAppendLocked(func(enc *checkpoint.Encoder) error {
 			enc.String(walRecHeartbeat)
 			enc.Time(pt)
 			return enc.Err()
 		})
-	})
+		if err == nil {
+			span.AddSince(obs.SpanWAL, tWAL)
+		}
+		return err
+	}, span)
+	if err == nil {
+		e.metrics.noteHeartbeat()
+	}
+	return err
 }
 
 // LiveSessions reports the number of resident standing-query pipelines.

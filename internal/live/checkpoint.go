@@ -260,6 +260,7 @@ func (m *Manager) RestoreAll(dec *checkpoint.Decoder, restore RestoreDriver) err
 		if err != nil {
 			return err
 		}
+		sess.setObs(m.obsm) // restored pipelines count like registered ones
 		id := m.nextID
 		m.nextID++
 		m.installLocked(id, sess) // routing table + shard placement

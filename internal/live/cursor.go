@@ -59,8 +59,10 @@ func (c *cursor) terminalErr() error {
 
 // noteDelivered advances the delivery counters for one delta.
 func (c *cursor) noteDelivered(d *Delta) {
+	rows := deltaRows(d)
 	c.deltasOut.Add(1)
-	c.rowsOut.Add(deltaRows(d))
+	c.rowsOut.Add(rows)
+	c.s.obsm.noteDelivered(rows)
 }
 
 // deltaRows counts the output rows a delta carries.

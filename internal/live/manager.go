@@ -4,8 +4,10 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/tvr"
 	"repro/internal/types"
@@ -64,6 +66,11 @@ type Manager struct {
 
 	count atomic.Int64 // len(subs), readable without m.mu
 	snap  atomic.Value // []*Session, for lock-free Subscribers()
+
+	// obsm holds the manager-wide delivery counters (nil without
+	// Options.Obs; see obs.go). Sessions receive the same pointer at
+	// registration so hot-path increments need no indirection through m.
+	obsm *liveMetrics
 }
 
 // Options configures a Manager.
@@ -76,6 +83,10 @@ type Options struct {
 	// (shard.DefaultQueueDepth when 0). A publisher blocks once a shard's
 	// queue is full.
 	QueueDepth int
+	// Obs, when non-nil, registers the live_*, exec_*, and shard_* metric
+	// families on the given registry and enables the hot-path delivery
+	// counters. Nil costs nothing beyond nil checks.
+	Obs *obs.Registry
 }
 
 // NewManager creates an empty registry with the serial fan-out.
@@ -92,9 +103,12 @@ func NewManagerWith(o Options) *Manager {
 		seq:   shard.NewSequencer(),
 	}
 	if o.Shards > 0 {
-		m.pool = shard.NewPool(o.Shards, o.QueueDepth)
+		m.pool = shard.NewPoolObs(o.Shards, o.QueueDepth, o.Obs)
 	}
 	m.snap.Store([]*Session{})
+	if o.Obs != nil {
+		m.registerMetrics(o.Obs)
+	}
 	return m
 }
 
@@ -192,6 +206,9 @@ func (m *Manager) Register(sess *Session, history func() ([]exec.Source, error))
 }
 
 func (m *Manager) registerLocked(sess *Session, history func() ([]exec.Source, error)) (int, error) {
+	// Hand the session the delivery counters before the history replay so
+	// the replayed batch is counted like any live delivery.
+	sess.setObs(m.obsm)
 	if history != nil {
 		batch, err := history()
 		if err != nil {
@@ -296,30 +313,51 @@ func (m *Manager) refreshLocked() {
 // removed from the routing table; its subscribers learn why from
 // Subscription.Err.
 func (m *Manager) Publish(commit func() error, name string, evs []tvr.Event) error {
+	return m.PublishSpan(commit, name, evs, nil)
+}
+
+// PublishSpan is Publish carrying a commit-path span. The span's sequence
+// and enqueue stages are timed here; validate/WAL happen inside commit (the
+// engine times them before handing the span over) and apply/render/deliver
+// inside each session. The publisher releases its span reference before
+// returning; in sharded mode the span finalizes — recording histograms and
+// possibly emitting the slow-commit log — when the last shard task
+// finishes. A nil span is a no-op on every path.
+func (m *Manager) PublishSpan(commit func() error, name string, evs []tvr.Event, span *obs.CommitSpan) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer span.Finish()
 	if err := commit(); err != nil {
+		span.Discard()
 		return err
 	}
+	tSeq := time.Time{}
+	if span != nil {
+		tSeq = time.Now()
+	}
 	seq := m.seq.Next()
+	span.SetSeq(seq)
 	if len(evs) == 0 {
+		span.AddSince(obs.SpanSequence, tSeq)
 		return nil
 	}
 	batch := []exec.Source{{Name: name, Log: evs}}
 	if m.pool == nil {
+		span.AddSince(obs.SpanSequence, tSeq)
 		for _, id := range append([]int(nil), m.order...) {
 			sess := m.subs[id]
 			if sess == nil || !sess.Matches(name) {
 				continue
 			}
-			if err := safeApply(sess, func(s *Session) error { return s.IngestLog(batch) }); err != nil {
+			if err := safeApply(sess, func(s *Session) error { return s.ingestLog(batch, span) }); err != nil {
 				m.removeLocked(id)
 			}
 		}
 		return nil
 	}
-	m.fanOutLocked(seq, func(sess *Session) bool { return sess.Matches(name) },
-		func(sess *Session) error { return sess.IngestLog(batch) })
+	span.AddSince(obs.SpanSequence, tSeq)
+	m.fanOutLocked(seq, span, func(sess *Session) bool { return sess.Matches(name) },
+		func(sess *Session) error { return sess.ingestLog(batch, span) })
 	return nil
 }
 
@@ -337,29 +375,43 @@ func (m *Manager) Advance(pt types.Time) {
 // failure suppresses the broadcast entirely, so the log never misses a
 // heartbeat that fired a timer.
 func (m *Manager) AdvanceWith(pt types.Time, commit func() error) error {
+	return m.AdvanceWithSpan(pt, commit, nil)
+}
+
+// AdvanceWithSpan is AdvanceWith carrying a commit-path span (see
+// PublishSpan for the stage ownership).
+func (m *Manager) AdvanceWithSpan(pt types.Time, commit func() error, span *obs.CommitSpan) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer span.Finish()
 	if commit != nil {
 		if err := commit(); err != nil {
+			span.Discard()
 			return err
 		}
 	}
+	tSeq := time.Time{}
+	if span != nil {
+		tSeq = time.Now()
+	}
 	seq := m.seq.Next()
 	m.seq.RecordHeartbeat(pt)
+	span.SetSeq(seq)
+	span.AddSince(obs.SpanSequence, tSeq)
 	if m.pool == nil {
 		for _, id := range append([]int(nil), m.order...) {
 			sess := m.subs[id]
 			if sess == nil {
 				continue
 			}
-			if err := safeApply(sess, func(s *Session) error { return s.Advance(pt) }); err != nil {
+			if err := safeApply(sess, func(s *Session) error { return s.advance(pt, span) }); err != nil {
 				m.removeLocked(id)
 			}
 		}
 		return nil
 	}
-	m.fanOutLocked(seq, func(*Session) bool { return true },
-		func(sess *Session) error { return sess.Advance(pt) })
+	m.fanOutLocked(seq, span, func(*Session) bool { return true },
+		func(sess *Session) error { return sess.advance(pt, span) })
 	return nil
 }
 
@@ -370,20 +422,33 @@ func (m *Manager) AdvanceWith(pt types.Time, commit func() error) error {
 // m.order). A session that refuses its delivery is torn down from a fresh
 // goroutine: the worker itself must never take m.mu, which a publisher
 // blocked on a full shard queue may hold.
-func (m *Manager) fanOutLocked(seq uint64, match func(*Session) bool, apply func(*Session) error) {
+func (m *Manager) fanOutLocked(seq uint64, span *obs.CommitSpan, match func(*Session) bool, apply func(*Session) error) {
 	groups := make([][]*Session, m.pool.Shards())
 	any := false
+	nGroups := 0
 	for _, id := range m.order {
 		sess := m.subs[id]
 		if sess == nil || !match(sess) {
 			continue
 		}
 		sh := m.pool.ShardOf(id)
+		if len(groups[sh]) == 0 {
+			nGroups++
+		}
 		groups[sh] = append(groups[sh], sess)
 		any = true
 	}
 	if !any {
 		return
+	}
+	// Each shard task holds one span reference; the publisher's own
+	// reference (released by PublishSpan/AdvanceWithSpan) keeps the span
+	// open until every task is enqueued, so the span finalizes on whichever
+	// worker finishes last.
+	span.Fork(nGroups)
+	tEnq := time.Time{}
+	if span != nil {
+		tEnq = time.Now()
 	}
 	for sh, sessions := range groups {
 		if len(sessions) == 0 {
@@ -391,6 +456,7 @@ func (m *Manager) fanOutLocked(seq uint64, match func(*Session) bool, apply func
 		}
 		sessions := sessions
 		m.pool.Enqueue(sh, seq, func() {
+			defer span.Finish()
 			for _, sess := range sessions {
 				if err := safeApply(sess, apply); err != nil {
 					// The session refused the delivery (canceled,
@@ -401,6 +467,9 @@ func (m *Manager) fanOutLocked(seq uint64, match func(*Session) bool, apply func
 			}
 		})
 	}
+	// Includes any time the publisher spent blocked on a full shard queue —
+	// the backpressure signal the enqueue stage exists to expose.
+	span.AddSince(obs.SpanEnqueue, tEnq)
 }
 
 // safeApply is the fan-out's last-resort panic boundary. An operator panic

@@ -6,8 +6,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/tvr"
 	"repro/internal/types"
 )
@@ -104,6 +106,11 @@ type Session struct {
 	// the final delta. Both are nil/-1 under the serial fan-out.
 	drain func()
 	shard atomic.Int64 // shard index; -1 = serial fan-out
+
+	// obsm is the owning manager's delivery counters (nil without
+	// observability; all increments are nil-safe). Set at registration,
+	// under the manager's ordering lock, before any routing.
+	obsm *liveMetrics
 }
 
 // NewSession starts the driver and wraps it as a standing query with no
@@ -329,20 +336,35 @@ func (s *Session) Ingest(source string, ev tvr.Event) error {
 // the driver) and delivers the batch's deltas in one delivery. Subscribing
 // uses it to replay a relation's recorded history through the new pipeline.
 func (s *Session) IngestLog(batch []exec.Source) error {
+	return s.ingestLog(batch, nil)
+}
+
+// ingestLog is IngestLog carrying the commit-path span: driver feed time
+// accrues to the apply stage, render/deliver split inside deliver. The
+// span's time.Now calls are skipped entirely on the untraced path.
+func (s *Session) ingestLog(batch []exec.Source, span *obs.CommitSpan) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if s.isClosed() {
 		return s.terminalErr()
 	}
+	n := int64(0)
 	for _, src := range batch {
-		s.eventsIn.Add(int64(len(src.Log)))
+		n += int64(len(src.Log))
+	}
+	s.eventsIn.Add(n)
+	s.obsm.noteEventsIn(n)
+	tApply := time.Time{}
+	if span != nil {
+		tApply = time.Now()
 	}
 	if err := s.feedDriver(batch); err != nil {
 		s.failFeed(err)
 		return err
 	}
+	span.AddSince(obs.SpanApply, tApply)
 	s.noteDispatches()
-	return s.deliver()
+	return s.deliver(span)
 }
 
 // noteDispatches mirrors the driver's dispatch counters into the session's
@@ -381,17 +403,27 @@ func (s *Session) advanceDriver(pt types.Time) (err error) {
 // Advance moves the standing pipeline's processing-time clock to pt, firing
 // any due EMIT AFTER DELAY timers and delivering the resulting deltas.
 func (s *Session) Advance(pt types.Time) error {
+	return s.advance(pt, nil)
+}
+
+// advance is Advance carrying the commit-path span (see ingestLog).
+func (s *Session) advance(pt types.Time, span *obs.CommitSpan) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if s.isClosed() {
 		return s.terminalErr()
 	}
+	tApply := time.Time{}
+	if span != nil {
+		tApply = time.Now()
+	}
 	if err := s.advanceDriver(pt); err != nil {
 		s.failFeed(err)
 		return err
 	}
+	span.AddSince(obs.SpanApply, tApply)
 	s.noteDispatches()
-	return s.deliver()
+	return s.deliver(span)
 }
 
 func (s *Session) isClosed() bool {
@@ -454,12 +486,21 @@ func (s *Session) renderLocked() *Delta {
 // all only when every attached cursor is full. A park ends for a cursor
 // when it makes space, cancels (the delta is abandoned with it), or closes
 // (the delta folds into the cursor's final delta).
-func (s *Session) deliver() error {
+func (s *Session) deliver(span *obs.CommitSpan) error {
+	tRender := time.Time{}
+	if span != nil {
+		tRender = time.Now()
+	}
 	s.mu.Lock()
 	d := s.renderLocked()
+	span.AddSince(obs.SpanRender, tRender)
 	if d == nil {
 		s.mu.Unlock()
 		return nil
+	}
+	tDeliver := time.Time{}
+	if span != nil {
+		tDeliver = time.Now()
 	}
 	var blocked []*cursor
 	var dropped []*cursor
@@ -480,6 +521,8 @@ func (s *Session) deliver() error {
 		}
 	}
 	anyDropped := len(dropped) > 0
+	s.obsm.noteDrops(len(dropped))
+	s.obsm.noteParks(len(blocked))
 	for _, c := range dropped {
 		c.setErr(ErrSlowConsumer)
 		s.removeCursorLocked(c)
@@ -492,6 +535,7 @@ func (s *Session) deliver() error {
 	if len(blocked) > 0 {
 		s.parkAndDeliver(blocked, d)
 	}
+	span.AddSince(obs.SpanDeliver, tDeliver)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -269,8 +269,12 @@ func TestNexmarkBench(t *testing.T) {
 	if rec.ShortMode {
 		out = "../../BENCH_nexmark_short.json"
 	}
-	if err := rec.WriteFile(out); err != nil {
-		t.Fatal(err)
+	if benchWriteEnabled() {
+		if err := rec.WriteFile(out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		t.Logf("not refreshing %s (set NEXMARK_BENCH_WRITE=1 / use make bench-*)", out)
 	}
 
 	if aggResult == nil || aggResult.Partitions != benchParts {

@@ -3,8 +3,9 @@ package nexmark
 // Environment overrides for the benchmark harnesses, wired through the
 // Makefile's bench-* targets:
 //
-//	BENCH_COUNT=60000   pin the exact event count
-//	BENCH_SCALE=0.25    multiply each harness's built-in default
+//	BENCH_COUNT=60000       pin the exact event count
+//	BENCH_SCALE=0.25        multiply each harness's built-in default
+//	NEXMARK_BENCH_WRITE=1   write/refresh the BENCH_*.json records
 //
 // BENCH_COUNT wins when both are set. Invalid or non-positive values are
 // ignored, so a stray variable cannot silently zero a benchmark.
@@ -30,4 +31,13 @@ func benchEventCount(def int) int {
 		}
 	}
 	return def
+}
+
+// benchWriteEnabled gates the BENCH_*.json record writes behind
+// NEXMARK_BENCH_WRITE=1 (set by the Makefile's bench-* targets). A plain
+// `go test ./...` — the tier-1 gate — measures but leaves the working tree
+// untouched, so parallel or ad-hoc test runs can never clobber the
+// committed baselines with reduced-scale or contended numbers.
+func benchWriteEnabled() bool {
+	return os.Getenv("NEXMARK_BENCH_WRITE") == "1"
 }

@@ -390,6 +390,10 @@ func TestLiveBench(t *testing.T) {
 	if rec.ShortMode {
 		out = "../../BENCH_live_short.json"
 	}
+	if !benchWriteEnabled() {
+		t.Logf("not refreshing %s (set NEXMARK_BENCH_WRITE=1 / use make bench-*)", out)
+		return
+	}
 	// Preserve the recovery rows TestRecoveryBench merged into the file;
 	// the two benchmarks own disjoint sections of the record.
 	if prev, err := bench.LoadLive(out); err == nil && prev != nil {

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// SpanStage identifies one stage of the commit path, in pipeline order.
+type SpanStage int
+
+const (
+	// SpanValidate is event validation against the relation schema.
+	SpanValidate SpanStage = iota
+	// SpanWAL is the WAL append (including fsync under SyncAlways).
+	SpanWAL
+	// SpanSequence is sequencing + fan-out bookkeeping under the manager lock.
+	SpanSequence
+	// SpanEnqueue is shard-queue enqueue (including any backpressure block).
+	SpanEnqueue
+	// SpanApply is driver Feed/Advance — pushing the batch through operators.
+	SpanApply
+	// SpanRender is Drain + delta render + retention accounting.
+	SpanRender
+	// SpanDeliver is cursor fan-out, including parked blocking sends.
+	SpanDeliver
+
+	numSpanStages
+)
+
+// stageNames index by SpanStage; also the `stage` label values on
+// commit_stage_seconds.
+var stageNames = [numSpanStages]string{
+	"validate", "wal", "sequence", "enqueue", "apply", "render", "deliver",
+}
+
+// String returns the stage's label value.
+func (s SpanStage) String() string {
+	if s < 0 || s >= numSpanStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// DefaultSlowCommit is the default threshold above which a commit emits a
+// structured span-breakdown log line (the serve -slow-commit flag default).
+const DefaultSlowCommit = 100 * time.Millisecond
+
+// CommitTracer owns the commit-path histograms and the slow-commit log
+// policy. One tracer per engine; it hands out a CommitSpan per commit.
+// A nil tracer hands out nil spans, and every CommitSpan method is nil-safe,
+// so untraced engines pay only nil checks.
+type CommitTracer struct {
+	stages    [numSpanStages]*Histogram // commit_stage_seconds{stage=...}
+	total     *Histogram                // commit_seconds
+	slow      *Counter                  // commit_slow_total
+	threshold int64                     // ns; <=0 disables slow logging
+	log       *slog.Logger
+}
+
+// NewCommitTracer registers the commit-path metric families on reg and
+// returns a tracer. slow <= 0 disables slow-commit logging; a nil logger
+// falls back to slog.Default() at emit time.
+func NewCommitTracer(reg *Registry, slow time.Duration, log *slog.Logger) *CommitTracer {
+	t := &CommitTracer{threshold: int64(slow), log: log}
+	for i := SpanStage(0); i < numSpanStages; i++ {
+		t.stages[i] = reg.Histogram("commit_stage_seconds",
+			"Time spent per commit-path stage.",
+			DurationScale, DurationBuckets, "stage", i.String())
+	}
+	t.total = reg.Histogram("commit_seconds",
+		"End-to-end commit latency (publish to final delivery).",
+		DurationScale, DurationBuckets)
+	t.slow = reg.Counter("commit_slow_total",
+		"Commits slower than the slow-commit threshold.")
+	return t
+}
+
+// Begin starts a span for one commit. name is the target relation, events
+// the batch size. Returns nil (a valid no-op span) on a nil tracer.
+func (t *CommitTracer) Begin(name string, events int) *CommitSpan {
+	if t == nil {
+		return nil
+	}
+	s := &CommitSpan{tracer: t, name: name, events: events, start: time.Now()}
+	s.pending.Store(1)
+	return s
+}
+
+// CommitSpan accumulates per-stage durations for one commit. The publisher
+// holds one reference; Fork adds one per shard task so the span finalizes —
+// recording histograms and possibly emitting the slow-commit log line — only
+// when the last participant calls Finish. All methods are nil-safe.
+type CommitSpan struct {
+	tracer  *CommitTracer
+	name    string
+	events  int
+	seq     uint64
+	start   time.Time
+	stages  [numSpanStages]atomic.Int64 // ns per stage
+	pending atomic.Int32
+}
+
+// Add accrues d to the given stage. Safe from concurrent shard workers.
+func (s *CommitSpan) Add(stage SpanStage, d time.Duration) {
+	if s == nil || d < 0 {
+		return
+	}
+	s.stages[stage].Add(int64(d))
+}
+
+// AddSince accrues the elapsed time since t0 to the given stage.
+func (s *CommitSpan) AddSince(stage SpanStage, t0 time.Time) {
+	if s == nil {
+		return
+	}
+	s.stages[stage].Add(int64(time.Since(t0)))
+}
+
+// SetSeq records the commit's global sequence number for the slow log line.
+func (s *CommitSpan) SetSeq(seq uint64) {
+	if s == nil {
+		return
+	}
+	s.seq = seq
+}
+
+// Fork adds n participants (shard tasks) that will each call Finish.
+// Must be called before the tasks are enqueued.
+func (s *CommitSpan) Fork(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.pending.Add(int32(n))
+}
+
+// Finish releases one participant. The last release records the stage and
+// total histograms and emits the slow-commit log line if the commit exceeded
+// the tracer's threshold.
+func (s *CommitSpan) Finish() {
+	if s == nil {
+		return
+	}
+	if s.pending.Add(-1) != 0 {
+		return
+	}
+	t := s.tracer
+	total := time.Since(s.start)
+	for i := SpanStage(0); i < numSpanStages; i++ {
+		// Skip stages this commit never touched (e.g. enqueue on the serial
+		// path) so their histograms aren't flooded with zeros.
+		if v := s.stages[i].Load(); v > 0 {
+			t.stages[i].Observe(v)
+		}
+	}
+	t.total.Observe(int64(total))
+	if t.threshold <= 0 || int64(total) < t.threshold {
+		return
+	}
+	t.slow.Inc()
+	log := t.log
+	if log == nil {
+		log = slog.Default()
+	}
+	attrs := make([]any, 0, 2*int(numSpanStages)+8)
+	attrs = append(attrs,
+		slog.String("relation", s.name),
+		slog.Int("events", s.events),
+		slog.Uint64("seq", s.seq),
+		slog.Duration("total", total),
+	)
+	for i := SpanStage(0); i < numSpanStages; i++ {
+		if v := s.stages[i].Load(); v > 0 {
+			attrs = append(attrs, slog.Duration(i.String(), time.Duration(v)))
+		}
+	}
+	log.Warn("slow commit", attrs...)
+}
+
+// Discard abandons the span without recording anything — for commits that
+// fail before publication. Only valid before any Fork'd task runs.
+func (s *CommitSpan) Discard() {
+	if s == nil {
+		return
+	}
+	s.pending.Store(0)
+}

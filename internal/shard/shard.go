@@ -21,9 +21,12 @@
 package shard
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -97,6 +100,10 @@ type worker struct {
 	applied  atomic.Uint64
 	lastSeq  atomic.Uint64
 
+	// mApply (nil without observability) records per-task apply latency.
+	// Set before the worker goroutine starts; methods are nil-safe.
+	mApply *obs.Histogram
+
 	mu   sync.Mutex
 	cond *sync.Cond
 	done bool // the worker goroutine has exited
@@ -105,7 +112,9 @@ type worker struct {
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for t := range w.tasks {
+		t0 := time.Now()
 		runTask(t)
+		w.mApply.ObserveSince(t0)
 		w.lastSeq.Store(t.Seq)
 		w.mu.Lock()
 		w.applied.Add(1)
@@ -159,6 +168,16 @@ const DefaultQueueDepth = 64
 // NewPool starts n shard workers with bounded queues of the given depth
 // (DefaultQueueDepth when depth <= 0). n must be >= 1.
 func NewPool(n, depth int) *Pool {
+	return NewPoolObs(n, depth, nil)
+}
+
+// NewPoolObs is NewPool with shard_* metric families registered on reg
+// (nil reg = no observability, identical to NewPool). Per-shard queue
+// depth/lag gauges and enqueue/apply counters are sampled from the workers'
+// existing atomics at scrape time; apply latency is recorded by the worker
+// goroutine into a pool-wide histogram. All metric state is wired before
+// any worker goroutine starts, so workers never race the registration.
+func NewPoolObs(n, depth int, reg *obs.Registry) *Pool {
 	if n < 1 {
 		n = 1
 	}
@@ -166,10 +185,26 @@ func NewPool(n, depth int) *Pool {
 		depth = DefaultQueueDepth
 	}
 	p := &Pool{workers: make([]*worker, n)}
+	var mApply *obs.Histogram
+	if reg != nil {
+		mApply = reg.Histogram("shard_apply_seconds", "Per-task shard apply latency.",
+			obs.DurationScale, obs.DurationBuckets)
+	}
 	for i := range p.workers {
-		w := &worker{tasks: make(chan Task, depth)}
+		w := &worker{tasks: make(chan Task, depth), mApply: mApply}
 		w.cond = sync.NewCond(&w.mu)
 		p.workers[i] = w
+		if reg != nil {
+			sh := strconv.Itoa(i)
+			reg.GaugeFunc("shard_queue_depth", "Tasks queued but not yet picked up, per shard.",
+				func() float64 { return float64(len(w.tasks)) }, "shard", sh)
+			reg.GaugeFunc("shard_lag", "Enqueued tasks not yet fully applied, per shard.",
+				func() float64 { return float64(w.enqueued.Load() - w.applied.Load()) }, "shard", sh)
+			reg.CounterFunc("shard_enqueued_total", "Tasks enqueued, per shard.",
+				func() float64 { return float64(w.enqueued.Load()) }, "shard", sh)
+			reg.CounterFunc("shard_applied_total", "Tasks fully applied, per shard.",
+				func() float64 { return float64(w.applied.Load()) }, "shard", sh)
+		}
 		p.wg.Add(1)
 		go w.run(&p.wg)
 	}

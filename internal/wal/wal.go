@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -108,6 +109,12 @@ type Options struct {
 	// vfs.Default, the real filesystem). Tests substitute a vfs.FaultFS
 	// to inject disk failures.
 	FS vfs.FS
+	// Obs, when non-nil, registers the wal_* metric families on the given
+	// registry. The counters are incremented at the instrument sites under
+	// w.mu and read lock-free at scrape time — a scrape never takes w.mu
+	// (Stats() walks the directory and fsync holds the lock, so neither is
+	// safe from a collector).
+	Obs *obs.Registry
 }
 
 // ParseSyncPolicy maps the -wal-sync flag value to Options fields:
@@ -177,6 +184,15 @@ type Writer struct {
 	synced   int64
 	syncs    int64
 
+	// Scrape-facing metrics (nil without Options.Obs; every method is
+	// nil-safe). Incremented at the instrument sites so a scrape never
+	// needs w.mu or a directory listing.
+	mAppends      *obs.Counter
+	mAppendBytes  *obs.Counter
+	mFsyncs       *obs.Counter
+	mFsyncSeconds *obs.Histogram
+	mRotations    *obs.Counter
+
 	stopFlush chan struct{}
 	flushDone chan struct{}
 }
@@ -210,6 +226,13 @@ func Open(dir string, nextSeq uint64, opts Options) (*Writer, error) {
 		return nil, err
 	}
 	w := &Writer{dir: dir, opts: opts, fs: fsys, lastSeq: nextSeq - 1, syncedSeq: nextSeq - 1}
+	if reg := opts.Obs; reg != nil {
+		w.mAppends = reg.Counter("wal_appends_total", "WAL records appended and acknowledged.")
+		w.mAppendBytes = reg.Counter("wal_append_bytes_total", "Frame bytes appended to WAL segments.")
+		w.mFsyncs = reg.Counter("wal_fsyncs_total", "Successful fsyncs of the active WAL segment.")
+		w.mFsyncSeconds = reg.Histogram("wal_fsync_seconds", "WAL fsync latency.", obs.DurationScale, obs.DurationBuckets)
+		w.mRotations = reg.Counter("wal_segment_rotations_total", "WAL segment files created.")
+	}
 	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
@@ -343,6 +366,8 @@ func (w *Writer) Append(seq uint64, write func(*checkpoint.Encoder) error) error
 			return err
 		}
 	}
+	w.mAppends.Inc()
+	w.mAppendBytes.Add(int64(len(frame)))
 	return nil
 }
 
@@ -377,6 +402,7 @@ func (w *Writer) syncLocked() error {
 	if w.f == nil || !w.dirty {
 		return nil
 	}
+	t0 := time.Now()
 	if err := w.f.Sync(); err != nil {
 		// fsync-gate: after a failed fsync the dirty pages' fate is
 		// unknown and a retried fsync can succeed without persisting
@@ -390,6 +416,8 @@ func (w *Writer) syncLocked() error {
 	w.syncs++
 	w.syncedEnd = w.segBytes
 	w.syncedSeq = w.lastSeq
+	w.mFsyncs.Inc()
+	w.mFsyncSeconds.ObserveSince(t0)
 	return nil
 }
 
@@ -603,6 +631,7 @@ func (w *Writer) startSegmentLocked(seq uint64) error {
 	w.synced = w.appended
 	w.syncedEnd = w.segBytes
 	w.syncedSeq = w.lastSeq
+	w.mRotations.Inc()
 	return nil
 }
 
